@@ -1,0 +1,47 @@
+// Command experiments regenerates every table and figure of the paper's
+// results section (DESIGN.md §4 maps each to its modules) as markdown.
+//
+// Usage:
+//
+//	experiments                  # everything at the default scale
+//	experiments -table 1 -n 1024
+//	experiments -figure 1
+//	experiments -nq              # Theorem 15/16 scaling tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate figure 1")
+	nqOnly := flag.Bool("nq", false, "only the NQ scaling tables")
+	n := flag.Int("n", 576, "approximate node count")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiments.ReportConfig{N: *n, Seed: *seed}
+	switch {
+	case *nqOnly:
+		cfg.NQ = true
+		cfg.Tables = []int{}
+	case *table != 0:
+		cfg.Tables = []int{*table}
+	case *figure == 1:
+		cfg.Figure1 = true
+		cfg.Tables = []int{}
+	}
+	return experiments.WriteReport(os.Stdout, cfg)
+}

@@ -1,0 +1,80 @@
+// Command nq computes the neighborhood quality NQ_k (Definition 3.1) on
+// the built-in graph families and prints the Theorem 15/16 scaling tables.
+//
+// Usage:
+//
+//	nq [-n 1024] [-k 16,64,256,1024] [-family grid2d]
+//
+// Without -family it sweeps paths, cycles and 2-/3-d grids (the
+// Appendix B families) and reports measured NQ_k against the predicted
+// Θ(k^{1/(d+1)}).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/nq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 1024, "approximate number of nodes")
+	ks := flag.String("k", "16,64,256,1024", "comma-separated workloads k")
+	family := flag.String("family", "", "single family (default: Theorem 15/16 sweep)")
+	flag.Parse()
+
+	kList, err := parseInts(*ks)
+	if err != nil {
+		return err
+	}
+	if *family == "" {
+		rows, err := experiments.NQScaling(*n, kList)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# NQ_k scaling (Theorems 15/16): NQ_k = Θ(k^{1/(d+1)}) on d-dimensional grids")
+		fmt.Print(experiments.FormatNQScaling(rows))
+		return nil
+	}
+	g, err := graph.Build(graph.Family(*family), *n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s: n=%d m=%d D=%d\n", *family, g.N(), g.M(), g.Diameter())
+	for _, k := range kList {
+		q, err := nq.Of(g, k)
+		if err != nil {
+			return err
+		}
+		w, qv, err := nq.Witness(g, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("NQ_%-6d = %4d   (witness node %d with NQ_k(v)=%d)\n", k, q, w, qv)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

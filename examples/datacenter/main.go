@@ -1,0 +1,86 @@
+// Datacenter failure notification: the paper's Section 1 motivation for
+// information dissemination. A datacenter is modeled as a ring of racks
+// (cliques of machines wired together, adjacent racks joined by uplinks —
+// the ring-of-cliques family) plus a low-bandwidth management network
+// (the global mode). A failing rack must announce a batch of k control
+// messages (failure notices, policy changes) to every machine.
+//
+// The example contrasts three strategies: the trivial LOCAL flood (D
+// rounds), the global-mode-only pipeline (k/γ rounds), and the universal
+// Theorem 1 algorithm (eÕ(NQ_k)), and prints the winner.
+//
+// Run:  go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/hybridnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datacenter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		racks       = 32
+		machines    = 16 // per rack
+		kControlMsg = 2048
+	)
+	g := hybridnet.RingOfCliques(racks, machines)
+	net, err := hybridnet.NewNetwork(g, hybridnet.Config{})
+	if err != nil {
+		return err
+	}
+	n := net.N()
+	fmt.Printf("datacenter: %d racks × %d machines = %d nodes, D=%d, γ=%d\n\n",
+		racks, machines, n, g.Diameter(), net.Cap())
+
+	// All k control messages originate in rack 0 (the failing rack).
+	tokens := make([]int, n)
+	perMachine := kControlMsg / machines
+	for m := 0; m < machines; m++ {
+		tokens[m] = perMachine
+	}
+
+	res, err := net.Disseminate(tokens)
+	if err != nil {
+		return err
+	}
+	q := res.NQ
+	fmt.Printf("strategy comparison for k=%d control messages:\n", kControlMsg)
+	fmt.Printf("  LOCAL flooding only:        %6d rounds (diameter-bound)\n", g.Diameter())
+	fmt.Printf("  global NCC pipeline floor:  %6d rounds (k/γ receive bound)\n", kControlMsg/net.Cap())
+	fmt.Printf("  Theorem 1 (universal):      %6d rounds  ← NQ_k = %d\n\n", res.Rounds, q)
+
+	// The same infrastructure answers distributed queries: aggregate the
+	// per-machine load vector (k values) across the datacenter.
+	net.ResetRounds()
+	kAgg := 256
+	values := make([][]int64, n)
+	for v := range values {
+		row := make([]int64, kAgg)
+		for i := range row {
+			row[i] = int64((v*31 + i) % 97) // synthetic load metrics
+		}
+		values[v] = row
+	}
+	maxF := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	agg, ares, err := net.Aggregate(kAgg, values, maxF)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 2 aggregation of %d load metrics: %d rounds (max metric = %d)\n",
+		kAgg, ares.Rounds, agg[0])
+	return nil
+}

@@ -1,0 +1,75 @@
+// Package bitset provides a minimal fixed-size bitset used for per-node
+// identifier-knowledge tracking in the HYBRID₀ engine.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset. Create with New; the zero value is an
+// empty set of capacity 0.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity n bits.
+func New(n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s Set) Len() int { return s.n }
+
+// Has reports whether bit i is set. Out-of-range indices report false.
+func (s Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add sets bit i. Out-of-range indices are ignored.
+func (s Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove clears bit i.
+func (s Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionWith adds every bit of o to s. The sets must have equal capacity;
+// extra bits in a larger o are ignored.
+func (s Set) UnionWith(o Set) {
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}

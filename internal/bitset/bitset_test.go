@@ -1,0 +1,64 @@
+package bitset
+
+import "testing"
+
+func TestBasic(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatalf("fresh set: len=%d count=%d", s.Len(), s.Count())
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Fatalf("count=%d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Fatalf("bit %d missing", i)
+		}
+	}
+	if s.Has(1) || s.Has(128) {
+		t.Fatal("unexpected bit set")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Remove(-1)
+	if s.Count() != 0 {
+		t.Fatal("out-of-range add mutated set")
+	}
+	if s.Has(-1) || s.Has(10) {
+		t.Fatal("out-of-range has returned true")
+	}
+}
+
+func TestUnionAndClone(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(3)
+	b.Add(77)
+	c := a.Clone()
+	c.UnionWith(b)
+	if !c.Has(3) || !c.Has(77) || c.Count() != 2 {
+		t.Fatal("union failed")
+	}
+	if a.Has(77) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Count() != 0 || s.Has(0) {
+		t.Fatal("zero value not an empty set")
+	}
+	s.Add(0) // must not panic
+}

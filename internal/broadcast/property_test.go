@@ -1,0 +1,230 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/lower"
+)
+
+// Property: on random connected graphs with random token placements,
+// dissemination (a) succeeds, (b) reports the true NQ_k, and (c) never
+// beats the Theorem 4 lower bound.
+func TestDisseminatePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(120)
+		g := graph.RandomConnected(n, 0.04, rng)
+		net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(2*n)
+		tokens := make([]int, n)
+		for i := 0; i < k; i++ {
+			tokens[rng.Intn(n)]++
+		}
+		res, err := Disseminate(net, tokens)
+		if err != nil {
+			return false
+		}
+		lb, err := lower.Dissemination(g, k, net.Cap(), 0.9)
+		if err != nil {
+			return false
+		}
+		return float64(res.Rounds) >= lb.Rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: Theorem 1 is deterministic — identical runs on identical
+// networks must consume identical rounds.
+func TestDisseminateDeterministic(t *testing.T) {
+	g := graph.Grid(10, 2)
+	var prev int
+	for trial := 0; trial < 3; trial++ {
+		net, err := hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid0, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens := make([]int, g.N())
+		tokens[42] = 300
+		res, err := Disseminate(net, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial > 0 && res.Rounds != prev {
+			t.Fatalf("trial %d: %d rounds != %d", trial, res.Rounds, prev)
+		}
+		prev = res.Rounds
+	}
+}
+
+// Re-dissemination on the same network reuses the standing clustering
+// and overlay: strictly cheaper than the first run.
+func TestDisseminateReusesInfrastructure(t *testing.T) {
+	g := graph.Grid(12, 2)
+	net, err := hybrid.New(g, hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([]int, g.N())
+	tokens[0] = g.N()
+	first, err := Disseminate(net, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.Rounds()
+	second, err := Disseminate(net, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Rounds != net.Rounds()-before {
+		t.Fatal("result rounds inconsistent with audit")
+	}
+	if second.Rounds >= first.Rounds {
+		t.Fatalf("second run %d not cheaper than first %d", second.Rounds, first.Rounds)
+	}
+}
+
+// Aggregation must agree with a direct fold for random values and
+// several operators.
+func TestAggregateAgainstFoldQuick(t *testing.T) {
+	ops := map[string]AggregateFunc{
+		"sum": func(a, b int64) int64 { return a + b },
+		"min": func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		"max": func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(30+rng.Intn(40), 0.07, rng)
+		n := g.N()
+		k := 1 + rng.Intn(60)
+		values := make([][]int64, n)
+		for v := range values {
+			values[v] = make([]int64, k)
+			for i := range values[v] {
+				values[v][i] = rng.Int63n(1000) - 500
+			}
+		}
+		for _, f := range ops {
+			net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+			if err != nil {
+				return false
+			}
+			got, _, err := Aggregate(net, k, values, f)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < k; i++ {
+				want := values[0][i]
+				for v := 1; v < n; v++ {
+					want = f(want, values[v][i])
+				}
+				if got[i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The BCC simulation must track NQ_n across families: cheaper where
+// neighborhoods are better.
+func TestBCCTracksNQAcrossFamilies(t *testing.T) {
+	type run struct {
+		nq, rounds int
+	}
+	var runs []run
+	for _, g := range []*graph.Graph{graph.Path(400), graph.Grid(20, 2), graph.RingOfCliques(20, 20)} {
+		net, err := hybrid.New(g, hybrid.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateBCCRound(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{res.NQ, res.Rounds})
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i].nq > runs[i-1].nq {
+			t.Fatalf("families not ordered by NQ: %+v", runs)
+		}
+		if runs[i].rounds > runs[i-1].rounds {
+			t.Fatalf("BCC rounds not ordered with NQ: %+v", runs)
+		}
+	}
+}
+
+// Theorem 1's proof keeps every node's per-level send/receive load at
+// O(NQ_k) words (after each Lemma 4.1 balancing step): the engine's
+// observed maximum must respect that envelope.
+func TestDisseminatePerLevelLoadInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		g *graph.Graph
+		k int
+	}{
+		{graph.Path(300), 1200},
+		{graph.Grid(16, 2), 1024},
+		{graph.RingOfCliques(16, 16), 1024},
+	} {
+		net, err := hybrid.New(tc.g, hybrid.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens := make([]int, tc.g.N())
+		tokens[0] = tc.k
+		res, err := Disseminate(net, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Up to 2 slots per member and the ceiling per slot:
+		// load ≤ 2·(⌈k/slots⌉) ≤ 2·(NQ_k+1) per transfer; a node serves
+		// parent+children edges, ≤ 3 transfers per level.
+		limit := 8 * (res.NQ + 2)
+		if res.MaxNodeLoad > limit {
+			t.Fatalf("n=%d k=%d: per-level load %d exceeds O(NQ_k)=%d (NQ=%d)",
+				tc.g.N(), tc.k, res.MaxNodeLoad, limit, res.NQ)
+		}
+		if res.MaxNodeLoad == 0 {
+			t.Fatal("load tracking inactive")
+		}
+	}
+}
+
+// HYBRID₀ with enforced knowledge must complete dissemination without
+// ever addressing an unknown identifier (the chaining/learning phases
+// must establish exactly the knowledge the sends rely on).
+func TestDisseminateKnowledgeEnforcementFamilies(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(150), graph.Cycle(120), graph.Grid(11, 2)} {
+		net, err := hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid0, TrackKnowledge: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens := make([]int, g.N())
+		tokens[g.N()/2] = 2 * g.N()
+		if _, err := Disseminate(net, tokens); err != nil {
+			t.Fatalf("n=%d: %v", g.N(), err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func TestDisseminateTrackedDeliversEverything(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"path", graph.Path(144), 288},
+		{"grid", graph.Grid(12, 2), 144},
+		{"ring", graph.RingOfCliques(12, 12), 288},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := newNet(t, tc.g)
+			n := tc.g.N()
+			rng := rand.New(rand.NewSource(3))
+			tokens := make([]int, n)
+			for i := 0; i < tc.k; i++ {
+				tokens[rng.Intn(n)]++
+			}
+			res, err := DisseminateTracked(net, tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, got := range res.PerNodeTokens {
+				if got != tc.k {
+					t.Fatalf("node %d received %d/%d tokens", v, got, tc.k)
+				}
+			}
+			// Lemma 4.1 cap: after balancing no member exceeds
+			// ⌈k/(min cluster size)⌉ ≈ NQ_k (slack 2 for rounding and
+			// the split-cluster size range).
+			capTokens := 2 * (res.NQ + 1)
+			if res.MaxMemberTokens > capTokens {
+				t.Fatalf("member token load %d exceeds Lemma 4.1 cap %d (NQ=%d)",
+					res.MaxMemberTokens, capTokens, res.NQ)
+			}
+			if res.MaxMemberTokens == 0 {
+				t.Fatal("load tracking inactive")
+			}
+		})
+	}
+}
+
+func TestDisseminateTrackedMatchesCostModel(t *testing.T) {
+	// The tracked variant must charge rounds of the same order as the
+	// count-based Disseminate on the same instance.
+	g := graph.Grid(12, 2)
+	tokens := make([]int, g.N())
+	tokens[0] = g.N()
+
+	netA := newNet(t, g)
+	a, err := Disseminate(netA, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB := newNet(t, g)
+	b, err := DisseminateTracked(netB, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.Rounds) / float64(a.Rounds)
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("tracked rounds %d vs count-based %d (ratio %.2f)", b.Rounds, a.Rounds, ratio)
+	}
+}
+
+func TestDisseminateTrackedValidation(t *testing.T) {
+	net := newNet(t, graph.Path(8))
+	if _, err := DisseminateTracked(net, []int{1}); err == nil {
+		t.Fatal("short tokensAt accepted")
+	}
+	if _, err := DisseminateTracked(net, []int{-1, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	res, err := DisseminateTracked(net, make([]int, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Fatal("zero-token run misreported")
+	}
+}
+
+func TestDisseminateTrackedHybrid0(t *testing.T) {
+	g := graph.Grid(10, 2)
+	net, err := hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid0, TrackKnowledge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([]int, g.N())
+	tokens[g.N()-1] = 2 * g.N()
+	res, err := DisseminateTracked(net, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNodeTokens[0] != 2*g.N() {
+		t.Fatalf("node 0 received %d tokens", res.PerNodeTokens[0])
+	}
+}

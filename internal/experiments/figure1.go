@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/lower"
+	"repro/internal/sssp"
+)
+
+// Figure1Point is one point of the k-SSP complexity landscape
+// (Figure 1): the number of sources k = n^β on the horizontal axis and
+// the measured round exponent δ (rounds = n^δ) on the vertical axis,
+// with the prior upper bound [CHLP21a] and the eΩ(√k) lower bound.
+type Figure1Point struct {
+	Beta   float64
+	K      int
+	Rounds int // measured Theorem 14 rounds
+	// Delta is the polylog-normalized round exponent
+	// log_n(max(1, rounds/plog²)) — dividing out the library's eÕ(1)
+	// unit so the exponent is comparable to the paper's axes.
+	Delta   float64
+	Regime  string
+	Stretch float64
+	// Comparators.
+	CHLP21     float64 // eÕ(n^{1/3} + √k)
+	LowerSqrtK float64 // eΩ(√(k/γ))
+	DeltaLB    float64 // log_n of the lower bound
+}
+
+// Figure1 regenerates Figure 1 on one family at size ~n: for each β it
+// samples k = n^β random sources and measures the Theorem 14 k-SSP.
+func Figure1(fam graph.Family, n int, betas []float64, eps float64, seed int64) ([]Figure1Point, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.Build(fam, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	nn := g.N()
+	var points []Figure1Point
+	for _, beta := range betas {
+		k := int(math.Round(math.Pow(float64(nn), beta)))
+		if k < 1 {
+			k = 1
+		}
+		if k > nn {
+			k = nn
+		}
+		net, err := newNet(g, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		sources := sampleNodes(nn, float64(k)/float64(nn), rng)
+		_, res, err := sssp.KSSP(net, sources, eps, true, rng)
+		if err != nil {
+			return nil, fmt.Errorf("figure1 beta=%v: %w", beta, err)
+		}
+		p := params(net, k, 1, eps)
+		lnN := math.Log(float64(nn))
+		pt := Figure1Point{
+			Beta:       beta,
+			K:          k,
+			Rounds:     res.Rounds,
+			Regime:     res.Regime.String(),
+			Stretch:    res.Stretch,
+			CHLP21:     baseline.CHLP21KSSP().Rounds(p),
+			LowerSqrtK: lower.ExistentialSqrtK(k, net.Cap()),
+		}
+		plog2 := float64(net.PLog() * net.PLog())
+		if norm := float64(res.Rounds) / plog2; norm > 1 {
+			pt.Delta = math.Log(norm) / lnN
+		}
+		if pt.LowerSqrtK > 1 {
+			pt.DeltaLB = math.Log(pt.LowerSqrtK) / lnN
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FormatFigure1 renders the landscape as a markdown table plus an ASCII
+// sketch of δ versus β (the paper's Figure 1 axes).
+func FormatFigure1(points []Figure1Point) string {
+	header := []string{"β (k=n^β)", "k", "Thm14 rounds", "δ = log_n(rounds/eÕ(1))",
+		"regime", "stretch", "CHLP21 eÕ(n^{1/3}+√k)", "eΩ(√(k/γ))", "δ_LB"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.2f", p.Beta),
+			fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%d", p.Rounds),
+			fmt.Sprintf("%.3f", p.Delta),
+			p.Regime,
+			fmt.Sprintf("%.2f", p.Stretch),
+			f1(p.CHLP21),
+			f1(p.LowerSqrtK),
+			fmt.Sprintf("%.3f", p.DeltaLB),
+		})
+	}
+	out := RenderTable(header, cells)
+	out += "\n" + asciiLandscape(points)
+	return out
+}
+
+// asciiLandscape sketches δ (vertical) against β (horizontal): '*' marks
+// the measured Theorem 14 exponent, '.' the √k lower-bound exponent β/2.
+func asciiLandscape(points []Figure1Point) string {
+	const height = 12
+	var b []byte
+	rows := make([][]byte, height)
+	for i := range rows {
+		rows[i] = make([]byte, len(points)*6+8)
+		for j := range rows[i] {
+			rows[i][j] = ' '
+		}
+	}
+	put := func(col int, delta float64, ch byte) {
+		r := height - 1 - int(math.Round(delta*2*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		rows[r][8+col*6] = ch
+	}
+	for i, p := range points {
+		put(i, p.Beta/2, '.') // the eΩ(√k) = n^{β/2} region boundary
+		put(i, p.Delta, '*')
+	}
+	b = append(b, []byte("δ=1/2 +"+string(make([]byte, 0))+"\n")...)
+	for i, r := range rows {
+		label := "      |"
+		if i == 0 {
+			label = "δ=1/2 |"
+		}
+		if i == height-1 {
+			label = "δ=0   |"
+		}
+		b = append(b, []byte(label)...)
+		b = append(b, r...)
+		b = append(b, '\n')
+	}
+	b = append(b, []byte("      +"+"β: ")...)
+	for _, p := range points {
+		b = append(b, []byte(fmt.Sprintf("%5.2f ", p.Beta))...)
+	}
+	b = append(b, '\n')
+	b = append(b, []byte("      ('*' measured Thm14 exponent, '.' eΩ(√k) boundary β/2)\n")...)
+	return string(b)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/sssp"
+	"repro/internal/unicast"
+)
+
+// GammaRow is one point of the HYBRID(∞, γ) capacity sweep: Theorem 14
+// predicts k-SSP cost eÕ(√(k/γ)/ε²), collapsing to eÕ(1/ε²) at k ≤ γ —
+// "the global capacity γ does not only simply scale the running time"
+// (Section 2.3).
+type GammaRow struct {
+	CapFactor int
+	Gamma     int
+	K         int
+	Rounds    int
+	Regime    string
+	Stretch   float64
+}
+
+// GammaScaling sweeps the global capacity for a fixed k-SSP instance on
+// the family (random sources, parameter eps).
+func GammaScaling(fam graph.Family, n, k int, capFactors []int, eps float64, seed int64) ([]GammaRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.Build(fam, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	var rows []GammaRow
+	for _, cf := range capFactors {
+		net, err := hybrid.New(g, hybrid.Config{CapFactor: cf, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		sources := unicast.SampleNodes(g.N(), float64(k)/float64(g.N()), rng)
+		_, res, err := sssp.KSSP(net, sources, eps, true, rng)
+		if err != nil {
+			return nil, fmt.Errorf("gamma scaling cf=%d: %w", cf, err)
+		}
+		rows = append(rows, GammaRow{
+			CapFactor: cf,
+			Gamma:     net.Cap(),
+			K:         k,
+			Rounds:    res.Rounds,
+			Regime:    res.Regime.String(),
+			Stretch:   res.Stretch,
+		})
+	}
+	return rows, nil
+}
+
+// FormatGammaScaling renders rows as markdown.
+func FormatGammaScaling(rows []GammaRow) string {
+	header := []string{"γ factor", "γ", "k", "Thm14 rounds", "regime", "stretch"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d×", r.CapFactor),
+			fmt.Sprintf("%d", r.Gamma),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.Rounds),
+			r.Regime,
+			fmt.Sprintf("%.2f", r.Stretch),
+		})
+	}
+	return RenderTable(header, cells)
+}
+
+// GammaScalingCSV writes the sweep as CSV.
+func GammaScalingCSV(w io.Writer, rows []GammaRow) error {
+	header := []string{"cap_factor", "gamma", "k", "rounds", "regime", "stretch"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			itoa(r.CapFactor), itoa(r.Gamma), itoa(r.K), itoa(r.Rounds), r.Regime, ftoa(r.Stretch),
+		})
+	}
+	return writeCSV(w, header, cells)
+}

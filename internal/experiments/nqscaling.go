@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/nq"
+)
+
+// NQScalingRow is one point of the Theorem 15/16 analysis: the measured
+// NQ_k on a family against the predicted Θ(k^{1/(d+1)}) (d the grid
+// dimension; paths and cycles are d = 1).
+type NQScalingRow struct {
+	Family    string
+	N         int
+	K         int
+	NQ        int
+	Predicted float64 // min{k^{1/(d+1)}, D}
+	Ratio     float64 // NQ / Predicted
+	Diameter  int64
+}
+
+// NQScaling regenerates the Theorem 15/16 tables: NQ_k on paths, cycles
+// and d-dimensional grids across a sweep of k.
+func NQScaling(n int, ks []int) ([]NQScalingRow, error) {
+	type fam struct {
+		name string
+		g    *graph.Graph
+		d    float64
+	}
+	side2 := int(math.Sqrt(float64(n)))
+	side3 := int(math.Cbrt(float64(n)))
+	fams := []fam{
+		{"path", graph.Path(n), 1},
+		{"cycle", graph.Cycle(n), 1},
+		{"grid2d", graph.Grid(side2, 2), 2},
+		{"grid3d", graph.Grid(side3, 3), 3},
+	}
+	var rows []NQScalingRow
+	for _, f := range fams {
+		diam := f.g.Diameter()
+		for _, k := range ks {
+			q, err := nq.Of(f.g, k)
+			if err != nil {
+				return nil, fmt.Errorf("nqscaling %s k=%d: %w", f.name, k, err)
+			}
+			pred := math.Pow(float64(k), 1/(f.d+1))
+			if pred > float64(diam) {
+				pred = float64(diam)
+			}
+			rows = append(rows, NQScalingRow{
+				Family:    f.name,
+				N:         f.g.N(),
+				K:         k,
+				NQ:        q,
+				Predicted: pred,
+				Ratio:     float64(q) / pred,
+				Diameter:  diam,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatNQScaling renders rows as markdown.
+func FormatNQScaling(rows []NQScalingRow) string {
+	header := []string{"family", "n", "D", "k", "NQ_k", "Θ(k^{1/(d+1)}) pred.", "ratio"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.Diameter),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.NQ),
+			f1(r.Predicted),
+			fmt.Sprintf("%.2f", r.Ratio),
+		})
+	}
+	return RenderTable(header, cells)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// ReportConfig selects what WriteReport regenerates.
+type ReportConfig struct {
+	// N is the approximate instance size (default 576).
+	N int
+	// Seed drives all randomized runs (default 1).
+	Seed int64
+	// Tables selects tables 1–4 (nil = all); Figure1 and NQ toggle the
+	// figure and the NQ-scaling section.
+	Tables  []int
+	Figure1 bool
+	NQ      bool
+}
+
+func (c *ReportConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 576
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tables == nil && !c.Figure1 && !c.NQ {
+		c.Tables = []int{1, 2, 3, 4}
+		c.Figure1 = true
+		c.NQ = true
+	}
+}
+
+// WriteReport regenerates the selected artifacts as markdown on w —
+// the programmatic form of `cmd/experiments`.
+func WriteReport(w io.Writer, cfg ReportConfig) error {
+	cfg.defaults()
+	fams := DefaultFamilies()
+	if cfg.NQ {
+		rows, err := NQScaling(cfg.N, []int{16, 64, 256, 1024})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## NQ_k scaling (Theorems 15/16)\n\n%s\n", FormatNQScaling(rows))
+	}
+	for _, tbl := range cfg.Tables {
+		switch tbl {
+		case 1:
+			rows, err := Table1(fams, cfg.N, []int{cfg.N / 4, cfg.N, 4 * cfg.N}, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "## Table 1 — information dissemination (Theorems 1-4)\n\n%s\n", FormatTable1(rows))
+		case 2:
+			rows, err := Table2(fams, cfg.N, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "## Table 2 — APSP (Theorems 6-9, Corollary 2.2)\n\n%s\n", FormatTable2(rows))
+		case 3:
+			rows, err := Table3(fams, cfg.N, []int{cfg.N / 8, cfg.N / 2}, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "## Table 3 — (k,ℓ)-shortest paths (Theorem 5)\n\n%s\n", FormatTable3(rows))
+		case 4:
+			rows, err := Table4(fams, cfg.N, []float64{0.5, 0.25, 0.1}, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "## Table 4 — SSSP (Theorem 13)\n\n%s\n", FormatTable4(rows))
+		default:
+			return fmt.Errorf("experiments: unknown table %d", tbl)
+		}
+	}
+	if cfg.Figure1 {
+		betas := []float64{0, 1.0 / 6, 1.0 / 3, 0.5, 2.0 / 3, 5.0 / 6, 1}
+		for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid2D} {
+			pts, err := Figure1(fam, cfg.N, betas, 0.5, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "## Figure 1 — k-SSP complexity landscape on %s (Theorem 14)\n\n%s\n", fam, FormatFigure1(pts))
+		}
+	}
+	return nil
+}

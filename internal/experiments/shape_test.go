@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+// TestShapeGridVsPath certifies the headline shape of the reproduction
+// (EXPERIMENTS.md expected shape #1): as k grows, dissemination rounds
+// on a path grow at the √k pace while on a 2-d grid they grow at the
+// k^{1/3} pace, so the measured path/grid ratio widens. Skipped with
+// -short (it runs the full Theorem 1 pipeline six times).
+func TestShapeGridVsPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape certification needs the full pipeline")
+	}
+	n := 576
+	ks := []int{n, 4 * n, 16 * n}
+	measure := func(g *graph.Graph, k int) int {
+		net, err := hybrid.New(g, hybrid.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens := make([]int, g.N())
+		tokens[0] = k
+		res, err := broadcast.Disseminate(net, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	path := graph.Path(n)
+	grid := graph.Grid(24, 2)
+	var ratios []float64
+	for _, k := range ks {
+		p := measure(path, k)
+		g := measure(grid, k)
+		ratios = append(ratios, float64(p)/float64(g))
+	}
+	t.Logf("path/grid round ratios for k=%v: %v", ks, ratios)
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] <= ratios[i-1] {
+			t.Fatalf("separation not widening: %v", ratios)
+		}
+	}
+	// At k = 16n the asymptotic gap NQ_path/NQ_grid ≈ √k/k^{1/3} = k^{1/6}
+	// ≈ 4.6 must be visible through the polylog constants.
+	if ratios[len(ratios)-1] < 2 {
+		t.Fatalf("final separation %.2f too small", ratios[len(ratios)-1])
+	}
+	if math.IsNaN(ratios[0]) {
+		t.Fatal("degenerate measurement")
+	}
+}
+
+func TestWriteReportSelective(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteReport(&buf, ReportConfig{N: 100, Seed: 3, Tables: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 4") {
+		t.Fatalf("missing table 4:\n%s", out)
+	}
+	if strings.Contains(out, "Table 1") || strings.Contains(out, "Figure 1") {
+		t.Fatal("unselected sections present")
+	}
+	if err := WriteReport(&buf, ReportConfig{N: 64, Tables: []int{9}}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestWriteReportNQOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ReportConfig{N: 144, NQ: true, Tables: []int{}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NQ_k scaling") {
+		t.Fatal("missing NQ section")
+	}
+}

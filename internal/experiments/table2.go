@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apsp"
+	"repro/internal/baseline"
+	"repro/internal/cuts"
+	"repro/internal/graph"
+	"repro/internal/lower"
+)
+
+// Table2Row compares the universal APSP algorithms (Theorems 6–9,
+// Corollary 2.2) with the eΘ(√n) existential prior work on one instance.
+type Table2Row struct {
+	Family string
+	N      int
+	NQ     int
+	// Measured universal algorithms (cost-only runs).
+	UnweightedRounds  int     // Theorem 6, ε = 0.5
+	SparseExactRounds int     // Corollary 2.2
+	SpannerRounds     int     // Theorem 7 via Corollary 2.3
+	SpannerStretch    float64 // its stretch
+	SkeletonRounds    int     // Theorem 8, α = 1
+	CutsRounds        int     // Theorem 9, ε = 0.5
+	// Prior-work formulas.
+	KS20Rounds float64
+	AG21Rounds float64
+	LocalFlood int64
+	// Theorem 11 lower bound for k = n.
+	LowerBound float64
+}
+
+// Table2 regenerates Table 2 on each family at size ~n.
+func Table2(families []graph.Family, n int, seed int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	rng := rand.New(rand.NewSource(seed))
+	for _, fam := range families {
+		g, err := graph.Build(fam, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		row, err := table2Row(fam, g, rng)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", fam, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, error) {
+	row := &Table2Row{Family: string(fam), N: g.N()}
+
+	net, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	_, ures, err := apsp.Unweighted(net, 0.5, false)
+	if err != nil {
+		return nil, err
+	}
+	row.UnweightedRounds = ures.Rounds
+	row.NQ = ures.NQ
+
+	net2, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	_, sres, err := apsp.SparseExact(net2, false)
+	if err != nil {
+		return nil, err
+	}
+	row.SparseExactRounds = sres.Rounds
+
+	net3, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	_, pres, err := apsp.LogOverLogLog(net3, false)
+	if err != nil {
+		return nil, err
+	}
+	row.SpannerRounds = pres.Rounds
+	row.SpannerStretch = pres.Stretch
+
+	net4, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	_, kres, err := apsp.Skeleton(net4, 1, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	row.SkeletonRounds = kres.Rounds
+
+	net5, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	_, cres, err := cuts.ApproxCuts(net5, 0.5, rng, cuts.Options{})
+	if err != nil {
+		return nil, err
+	}
+	row.CutsRounds = cres.Rounds
+
+	p := params(net, g.N(), g.N(), 0.5)
+	row.KS20Rounds = baseline.KS20APSP().Rounds(p)
+	row.AG21Rounds = baseline.AG21APSP().Rounds(p)
+	row.LocalFlood = p.Diam
+
+	lb, err := lower.WeightedKLSP(g, g.N(), net.Cap(), 0.9)
+	if err != nil {
+		return nil, err
+	}
+	row.LowerBound = lb.Rounds
+	return row, nil
+}
+
+// FormatTable2 renders rows as markdown.
+func FormatTable2(rows []Table2Row) string {
+	header := []string{"family", "n", "NQ_n",
+		"Thm6 1+ε", "Cor2.2 exact", "Cor2.3 spanner (stretch)", "Thm8 4α-1", "Thm9 cuts",
+		"KS20 eÕ(√n)", "AG21 eÕ(√n)", "LOCAL D", "Thm11 LB"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.NQ),
+			fmt.Sprintf("%d", r.UnweightedRounds),
+			fmt.Sprintf("%d", r.SparseExactRounds),
+			fmt.Sprintf("%d (%.1f)", r.SpannerRounds, r.SpannerStretch),
+			fmt.Sprintf("%d", r.SkeletonRounds),
+			fmt.Sprintf("%d", r.CutsRounds),
+			f1(r.KS20Rounds),
+			f1(r.AG21Rounds),
+			fmt.Sprintf("%d", r.LocalFlood),
+			f1(r.LowerBound),
+		})
+	}
+	return RenderTable(header, cells)
+}

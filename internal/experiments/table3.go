@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/lower"
+)
+
+// Table3Row compares the universal (k,ℓ)-SP algorithm (Theorem 5) with
+// the eΩ(√k) existential bound and the Theorem 11 universal lower bound.
+type Table3Row struct {
+	Family string
+	N      int
+	K, L   int
+	NQ     int
+	// Measured Theorem 5 case (1): arbitrary sources, random targets.
+	Rounds  int
+	Stretch float64
+	// Prior existential lower bound eΩ(√k) for (k,1)-SP [KS20].
+	SqrtKLower float64
+	// Theorem 11 universal lower bound.
+	UniversalLower float64
+	LocalFlood     int64
+}
+
+// Table3 regenerates Table 3 on each family at size ~n for each k.
+func Table3(families []graph.Family, n int, ks []int, seed int64) ([]Table3Row, error) {
+	var rows []Table3Row
+	rng := rand.New(rand.NewSource(seed))
+	for _, fam := range families {
+		g, err := graph.Build(fam, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			if k > g.N() {
+				continue
+			}
+			row, err := table3Row(fam, g, k, rng)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s k=%d: %w", fam, k, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func table3Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table3Row, error) {
+	n := g.N()
+	row := &Table3Row{Family: string(fam), N: n, K: k}
+	net, err := newNet(g, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	// ℓ ≈ min(NQ_k, 4) random targets (Theorem 5 case 1 condition ℓ ≤ NQ_k).
+	lb, err := lower.WeightedKLSP(g, k, net.Cap(), 0.9)
+	if err != nil {
+		return nil, err
+	}
+	row.NQ = lb.NQ
+	row.UniversalLower = lb.Rounds
+	l := lb.NQ
+	if l > 4 {
+		l = 4
+	}
+	if l < 1 {
+		l = 1
+	}
+	row.L = l
+	targets := sampleNodes(n, float64(l)/float64(n), rng)
+	_, res, err := apsp.KLSP(net, firstK(k), targets, 0.5, apsp.KLSPArbitrarySources, rng)
+	if err != nil {
+		return nil, err
+	}
+	row.Rounds = res.Rounds
+	row.Stretch = res.Stretch
+	row.SqrtKLower = lower.ExistentialSqrtK(k, net.Cap())
+	row.LocalFlood = g.Diameter()
+	return row, nil
+}
+
+// FormatTable3 renders rows as markdown.
+func FormatTable3(rows []Table3Row) string {
+	header := []string{"family", "n", "k", "ℓ", "NQ_k",
+		"Thm5 (rounds)", "stretch", "eΩ(√(k/γ)) exist.", "Thm11 LB", "LOCAL D"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.L),
+			fmt.Sprintf("%d", r.NQ),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.2f", r.Stretch),
+			f1(r.SqrtKLower),
+			f1(r.UniversalLower),
+			fmt.Sprintf("%d", r.LocalFlood),
+		})
+	}
+	return RenderTable(header, cells)
+}

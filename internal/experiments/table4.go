@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// Table4Row compares the Theorem 13 SSSP with the prior-work bounds of
+// Table 4 on one (family, n, ε) instance.
+type Table4Row struct {
+	Family string
+	N      int
+	Eps    float64
+	// Measured Theorem 13: eÕ(1/ε²), n-independent up to polylog.
+	Thm13Rounds int
+	// Prior work.
+	AG21Rounds   float64 // deterministic eÕ(√n), stretch log/loglog
+	CHLP21Rounds float64 // randomized eÕ(n^{5/17}), stretch 1+ε
+	AHKRounds    float64 // randomized eÕ(n^ε), large constant stretch
+	LocalFlood   int64
+}
+
+// Table4 regenerates Table 4 on each family at size ~n for each ε.
+func Table4(families []graph.Family, n int, epss []float64, seed int64) ([]Table4Row, error) {
+	var rows []Table4Row
+	rng := rand.New(rand.NewSource(seed))
+	for _, fam := range families {
+		g, err := graph.Build(fam, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range epss {
+			net, err := newNet(g, rng.Int63())
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sssp.Approx(net, 0, eps); err != nil {
+				return nil, fmt.Errorf("table4 %s eps=%v: %w", fam, eps, err)
+			}
+			p := params(net, 1, 1, eps)
+			rows = append(rows, Table4Row{
+				Family:       string(fam),
+				N:            g.N(),
+				Eps:          eps,
+				Thm13Rounds:  net.Rounds(),
+				AG21Rounds:   baseline.AG21SSSP().Rounds(p),
+				CHLP21Rounds: baseline.CHLP21SSSP().Rounds(p),
+				AHKRounds:    baseline.AHKSSSP().Rounds(p),
+				LocalFlood:   p.Diam,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders rows as markdown.
+func FormatTable4(rows []Table4Row) string {
+	header := []string{"family", "n", "ε",
+		"Thm13 eÕ(1/ε²)", "AG21 eÕ(√n)", "CHLP21 eÕ(n^{5/17})", "AHK+20 eÕ(n^ε)", "LOCAL D"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%.2f", r.Eps),
+			fmt.Sprintf("%d", r.Thm13Rounds),
+			f1(r.AG21Rounds),
+			f1(r.CHLP21Rounds),
+			f1(r.AHKRounds),
+			fmt.Sprintf("%d", r.LocalFlood),
+		})
+	}
+	return RenderTable(header, cells)
+}

@@ -1,0 +1,242 @@
+// Package graph provides the weighted undirected graph type used as the
+// local communication network of the HYBRID model, together with the
+// generators and search algorithms the reproduction needs.
+//
+// Graphs follow the paper's conventions (Section 1.2): undirected,
+// connected, n = |V|, m = |E|, integer edge weights polynomial in n
+// (ω ≡ 1 for unweighted graphs). Node identifiers inside the library are
+// dense indices 0..n-1; the HYBRID₀ identifier assignment is layered on
+// top by the engine (package hybrid).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the sentinel distance for unreachable nodes. It is chosen so that
+// Inf + maxWeight does not overflow int64.
+const Inf int64 = math.MaxInt64 / 4
+
+// Edge is a directed half-edge stored in an adjacency list. An undirected
+// edge {u,v} appears as Edge{To: v} in u's list and Edge{To: u} in v's.
+type Edge struct {
+	To int32
+	W  int64
+}
+
+// Graph is an undirected graph with int64 edge weights.
+// The zero value is an empty graph; use New to allocate n nodes.
+type Graph struct {
+	adj [][]Edge
+	m   int
+	// diam caches Diameter(); 0 means "not computed" (recomputing a
+	// diameter-0 graph is free). Invalidated by AddEdge.
+	diam int64
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u,v} with weight w.
+// It returns an error for self-loops, out-of-range endpoints, or
+// non-positive weights. Parallel edges are not detected (the generators
+// never create them; use HasEdge if in doubt).
+func (g *Graph) AddEdge(u, v int, w int64) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: non-positive weight %d on edge (%d,%d)", w, u, v)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: int32(v), W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: int32(u), W: w})
+	g.m++
+	g.diam = 0
+	return nil
+}
+
+// mustAddEdge is used by generators, which construct edges known to be valid.
+func (g *Graph) mustAddEdge(u, v int, w int64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic("graph: generator produced invalid edge: " + err.Error())
+	}
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the undirected edge {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	// Scan the shorter list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, e := range g.adj[u] {
+		if int(e.To) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of the edge {u,v}, or (0,false) if absent.
+func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
+	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	for _, e := range g.adj[u] {
+		if int(e.To) == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// UndirectedEdge is an explicit undirected edge with U < V.
+type UndirectedEdge struct {
+	U, V int
+	W    int64
+}
+
+// Edges returns every undirected edge exactly once, with U < V,
+// in adjacency order.
+func (g *Graph) Edges() []UndirectedEdge {
+	out := make([]UndirectedEdge, 0, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < int(e.To) {
+				out = append(out, UndirectedEdge{U: u, V: int(e.To), W: e.W})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m, diam: g.diam}
+	for v, es := range g.adj {
+		c.adj[v] = append([]Edge(nil), es...)
+	}
+	return c
+}
+
+// Reweight returns a copy of g whose edge weights are f(u, v, w). The
+// function must return a positive weight.
+func (g *Graph) Reweight(f func(u, v int, w int64) int64) (*Graph, error) {
+	c := New(g.N())
+	for _, e := range g.Edges() {
+		w := f(e.U, e.V, e.W)
+		if err := c.AddEdge(e.U, e.V, w); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Unweighted returns a copy of g with all edge weights set to 1.
+func (g *Graph) Unweighted() *Graph {
+	c, _ := g.Reweight(func(_, _ int, _ int64) int64 { return 1 })
+	return c
+}
+
+// IsWeighted reports whether any edge has weight != 1.
+func (g *Graph) IsWeighted() bool {
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.W != 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaxWeight returns the largest edge weight (0 for an edgeless graph).
+func (g *Graph) MaxWeight() int64 {
+	var w int64
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.W > w {
+				w = e.W
+			}
+		}
+	}
+	return w
+}
+
+// ErrDisconnected is returned by algorithms that require a connected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// Connected reports whether g is connected (the empty graph is connected).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// Subgraph returns the subgraph induced by keep (keep[v] == true), along
+// with the mapping from new indices to original ones.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int) {
+	idx := make([]int32, g.N())
+	var orig []int
+	for v := range idx {
+		idx[v] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		if keep[v] {
+			idx[v] = int32(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	sub := New(len(orig))
+	for _, v := range orig {
+		for _, e := range g.adj[v] {
+			if u := int(e.To); keep[u] && v < u {
+				sub.mustAddEdge(int(idx[v]), int(idx[u]), e.W)
+			}
+		}
+	}
+	return sub, orig
+}

@@ -1,0 +1,303 @@
+package graph
+
+// BFS returns hop distances from src (Inf marks unreachable nodes).
+func (g *Graph) BFS(src int) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 1, g.N())
+	queue[0] = int32(src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.adj[v] {
+			if dist[e.To] == Inf {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiSourceBFS returns, for each node, the hop distance to the closest
+// source and that source's index within srcs (closest source ties broken
+// by BFS order, i.e. by the smallest position in srcs). nearest is -1 for
+// unreachable nodes.
+func (g *Graph) MultiSourceBFS(srcs []int) (dist []int64, nearest []int) {
+	n := g.N()
+	dist = make([]int64, n)
+	nearest = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		nearest[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for i, s := range srcs {
+		if s >= 0 && s < n && dist[s] == Inf {
+			dist[s] = 0
+			nearest[s] = i
+			queue = append(queue, int32(s))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.adj[v] {
+			if dist[e.To] == Inf {
+				dist[e.To] = dist[v] + 1
+				nearest[e.To] = nearest[v]
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist, nearest
+}
+
+// Ball returns the set of nodes within t hops of v (B_t(v), including v),
+// in BFS order.
+func (g *Graph) Ball(v, t int) []int {
+	if v < 0 || v >= g.N() {
+		return nil
+	}
+	dist := map[int32]int{int32(v): 0}
+	queue := []int32{int32(v)}
+	out := []int{v}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if dist[u] == t {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if _, ok := dist[e.To]; !ok {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+				out = append(out, int(e.To))
+			}
+		}
+	}
+	return out
+}
+
+// BallSizes returns |B_t(v)| for t = 0..maxT (truncated early if the ball
+// covers the whole graph). The returned slice has length maxT+1 unless the
+// graph is exhausted sooner, in which case the final entry equals n and the
+// slice may be shorter; callers should treat missing entries as n.
+func (g *Graph) BallSizes(v, maxT int) []int {
+	n := g.N()
+	sizes := make([]int, 0, maxT+1)
+	seen := make(map[int32]bool, 16)
+	seen[int32(v)] = true
+	frontier := []int32{int32(v)}
+	total := 1
+	sizes = append(sizes, total)
+	for t := 1; t <= maxT && len(frontier) > 0 && total < n; t++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, e := range g.adj[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		total += len(next)
+		frontier = next
+		sizes = append(sizes, total)
+	}
+	return sizes
+}
+
+// Eccentricity returns max_w hop(v, w); Inf if the graph is disconnected.
+func (g *Graph) Eccentricity(v int) int64 {
+	dist := g.BFS(v)
+	var ecc int64
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter max_{v,w} hop(v,w), computed by
+// a BFS from every node (O(n·m), cached until the graph changes); Inf for
+// disconnected graphs.
+func (g *Graph) Diameter() int64 {
+	if g.diam != 0 {
+		return g.diam
+	}
+	var d int64
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > d {
+			d = e
+			if d >= Inf {
+				g.diam = Inf
+				return Inf
+			}
+		}
+	}
+	g.diam = d
+	return d
+}
+
+// distHeap is a manual binary min-heap of (node, dist) pairs for Dijkstra.
+type distHeap struct {
+	node []int32
+	d    []int64
+}
+
+func (h *distHeap) Len() int { return len(h.node) }
+
+func (h *distHeap) swap(i, j int) {
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}
+
+func (h *distHeap) push(v int32, d int64) {
+	h.node = append(h.node, v)
+	h.d = append(h.d, d)
+	for i := len(h.d) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h.d[parent] <= h.d[i] {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() (int32, int64) {
+	v, d := h.node[0], h.d[0]
+	last := len(h.node) - 1
+	h.swap(0, last)
+	h.node, h.d = h.node[:last], h.d[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.d[l] < h.d[smallest] {
+			smallest = l
+		}
+		if r < last && h.d[r] < h.d[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return v, d
+}
+
+// Dijkstra returns weighted distances d(src, ·) (Inf for unreachable).
+func (g *Graph) Dijkstra(src int) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	h.push(int32(src), 0)
+	for h.Len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue
+		}
+		for _, e := range g.adj[v] {
+			if nd := d + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(e.To, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiSourceDijkstra returns, for each node, the weighted distance to the
+// closest source and that source's index within srcs (-1 if unreachable).
+func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
+	n := g.N()
+	dist = make([]int64, n)
+	nearest = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		nearest[i] = -1
+	}
+	h := &distHeap{}
+	for i, s := range srcs {
+		if s >= 0 && s < n && dist[s] > 0 {
+			dist[s] = 0
+			nearest[s] = i
+			h.push(int32(s), 0)
+		}
+	}
+	for h.Len() > 0 {
+		v, d := h.pop()
+		if d > dist[v] {
+			continue
+		}
+		for _, e := range g.adj[v] {
+			if nd := d + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				nearest[e.To] = nearest[v]
+				h.push(e.To, nd)
+			}
+		}
+	}
+	return dist, nearest
+}
+
+// HopLimitedDistances returns d^h(src, ·): the weight of the lightest path
+// using at most h edges (Inf if no such path). Bellman–Ford with h
+// relaxation rounds, O(h·m).
+func (g *Graph) HopLimitedDistances(src, h int) []int64 {
+	n := g.N()
+	cur := make([]int64, n)
+	for i := range cur {
+		cur[i] = Inf
+	}
+	if src < 0 || src >= n {
+		return cur
+	}
+	cur[src] = 0
+	// frontier-based relaxation: only relax from nodes improved last round.
+	active := []int32{int32(src)}
+	inActive := make([]bool, n)
+	for round := 0; round < h && len(active) > 0; round++ {
+		var next []int32
+		for _, v := range active {
+			inActive[v] = false
+		}
+		for _, v := range active {
+			dv := cur[v]
+			for _, e := range g.adj[v] {
+				if nd := dv + e.W; nd < cur[e.To] {
+					cur[e.To] = nd
+					if !inActive[e.To] {
+						inActive[e.To] = true
+						next = append(next, e.To)
+					}
+				}
+			}
+		}
+		active = next
+	}
+	return cur
+}
+
+// APSPExact returns the full n×n weighted distance matrix via n Dijkstra
+// runs. Intended for verification on small graphs.
+func (g *Graph) APSPExact() [][]int64 {
+	out := make([][]int64, g.N())
+	for v := range out {
+		out[v] = g.Dijkstra(v)
+	}
+	return out
+}

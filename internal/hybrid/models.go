@@ -1,0 +1,85 @@
+package hybrid
+
+import "repro/internal/graph"
+
+// This file exposes the marginal cases of the HYBRID(λ, γ) family
+// (Section 1.3 of the paper, "Parameterization"), where ≈ means
+// equivalence up to eÕ(1) factors:
+//
+//	Congested Clique ≈ HYBRID(0, O(n log n))     LOCAL   = HYBRID₀(∞, 0)
+//	NCC              ≈ HYBRID(0, O(log² n))      CONGEST = HYBRID₀(O(log n), 0)
+//	NCC₀             ≈ HYBRID₀(0, O(log² n))
+//
+// Each constructor returns a network whose engine enforces exactly the
+// marginal model's communication surface: the λ-only models reject
+// SendGlobal, the γ-only models reject SendLocal and record TickLocal
+// calls as violations.
+
+// NewLOCAL returns the LOCAL model on g: unlimited local bandwidth, no
+// global mode — HYBRID₀(∞, 0).
+func NewLOCAL(g *graph.Graph, seed int64) (*Net, error) {
+	return New(g, Config{
+		Variant:   VariantHybrid0,
+		LocalOnly: true,
+		Seed:      seed,
+	})
+}
+
+// NewCONGEST returns the CONGEST model on g: one O(log n)-bit word per
+// edge per round, no global mode — HYBRID₀(O(log n), 0).
+func NewCONGEST(g *graph.Graph, seed int64) (*Net, error) {
+	return New(g, Config{
+		Variant:      VariantHybrid0,
+		LocalOnly:    true,
+		LocalWordCap: 1,
+		Seed:         seed,
+	})
+}
+
+// NewNCC returns the node-capacitated clique on g: no local mode,
+// γ = ⌈log₂ n⌉² global words per node per round — HYBRID(0, O(log² n)).
+func NewNCC(g *graph.Graph, seed int64) (*Net, error) {
+	p := PLog(g.N())
+	return New(g, Config{
+		Variant:       VariantHybrid,
+		GlobalOnly:    true,
+		GlobalWordCap: p * p,
+		Seed:          seed,
+	})
+}
+
+// NewNCC0 is NCC with HYBRID₀ identifier knowledge — HYBRID₀(0, O(log² n)).
+func NewNCC0(g *graph.Graph, seed int64, trackKnowledge bool) (*Net, error) {
+	p := PLog(g.N())
+	return New(g, Config{
+		Variant:        VariantHybrid0,
+		GlobalOnly:     true,
+		GlobalWordCap:  p * p,
+		TrackKnowledge: trackKnowledge,
+		Seed:           seed,
+	})
+}
+
+// NewCongestedClique returns the Congested Clique on g: no local mode,
+// γ = n·⌈log₂ n⌉ global words per node per round (one word to every
+// other node) — HYBRID(0, O(n log n)).
+func NewCongestedClique(g *graph.Graph, seed int64) (*Net, error) {
+	return New(g, Config{
+		Variant:       VariantHybrid,
+		GlobalOnly:    true,
+		GlobalWordCap: g.N() * PLog(g.N()),
+		Seed:          seed,
+	})
+}
+
+// NewHybridLambdaGamma returns the general HYBRID(λ, γ) model: λ local
+// words per edge per round (0 = unlimited) and γ global words per node
+// per round (0 = the standard ⌈log₂ n⌉).
+func NewHybridLambdaGamma(g *graph.Graph, lambda, gamma int, seed int64) (*Net, error) {
+	return New(g, Config{
+		Variant:       VariantHybrid,
+		LocalWordCap:  lambda,
+		GlobalWordCap: gamma,
+		Seed:          seed,
+	})
+}

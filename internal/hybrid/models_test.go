@@ -1,0 +1,232 @@
+package hybrid
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLOCALModel(t *testing.T) {
+	net, err := NewLOCAL(graph.Path(16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global mode rejected.
+	var disabled *ErrModeDisabled
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 5}}); !errors.As(err, &disabled) {
+		t.Fatalf("global send in LOCAL: err=%v", err)
+	}
+	// Unlimited local bandwidth: any load costs one round.
+	r, err := net.SendLocal("x", []Msg{{From: 0, To: 1, Size: 100000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("LOCAL round cost %d, want 1", r)
+	}
+}
+
+func TestCONGESTModel(t *testing.T) {
+	net, err := NewCONGEST(graph.Path(16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One word per edge per round: 7 words take 7 rounds.
+	r, err := net.SendLocal("x", []Msg{{From: 3, To: 4, Size: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 7 {
+		t.Fatalf("CONGEST rounds=%d, want 7", r)
+	}
+	// Non-adjacent local messages rejected.
+	if _, err := net.SendLocal("x", []Msg{{From: 0, To: 9}}); err == nil {
+		t.Fatal("non-adjacent local message accepted")
+	}
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 1}}); err == nil {
+		t.Fatal("global send in CONGEST accepted")
+	}
+}
+
+func TestNCCModel(t *testing.T) {
+	g := graph.Path(64)
+	net, err := NewNCC(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Cap() != 36 { // plog(64)² = 36
+		t.Fatalf("NCC cap=%d", net.Cap())
+	}
+	if _, err := net.SendLocal("x", []Msg{{From: 0, To: 1}}); err == nil {
+		t.Fatal("local send in NCC accepted")
+	}
+	// TickLocal becomes a recorded violation, not rounds.
+	net.TickLocal("x", 5)
+	if net.Rounds() != 0 || net.Violations() != 1 {
+		t.Fatalf("rounds=%d violations=%d", net.Rounds(), net.Violations())
+	}
+	// Global sends anywhere are fine (HYBRID identifiers known).
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 63}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNCC0Knowledge(t *testing.T) {
+	net, err := NewNCC0(graph.Path(16), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unknown *ErrUnknownTarget
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 9}}); !errors.As(err, &unknown) {
+		t.Fatalf("NCC0 addressing not enforced: %v", err)
+	}
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCongestedCliqueCapacity(t *testing.T) {
+	g := graph.Path(32)
+	net, err := NewCongestedClique(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Cap() != 32*5 {
+		t.Fatalf("clique cap=%d", net.Cap())
+	}
+	// One word to every other node fits in a single round.
+	msgs := make([]Msg, 0, 31)
+	for v := 1; v < 32; v++ {
+		msgs = append(msgs, Msg{From: 0, To: v})
+	}
+	r, err := net.SendGlobal("x", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("clique broadcast rounds=%d, want 1", r)
+	}
+}
+
+func TestHybridLambdaGamma(t *testing.T) {
+	g := graph.Path(64)
+	net, err := NewHybridLambdaGamma(g, 3, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Cap() != 17 {
+		t.Fatalf("gamma=%d", net.Cap())
+	}
+	r, err := net.SendLocal("x", []Msg{{From: 0, To: 1, Size: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 4 { // ceil(10/3)
+		t.Fatalf("lambda rounds=%d, want 4", r)
+	}
+	// Both modes available: this is the general HYBRID(λ,γ).
+	if _, err := net.SendGlobal("x", []Msg{{From: 0, To: 50}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendLocalKnowledgeSideEffects(t *testing.T) {
+	net, err := New(graph.Path(8), Config{Variant: VariantHybrid0, TrackKnowledge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.SendLocal("x", []Msg{{From: 0, To: 1, TeachIDs: []int{7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Knows(1, 7) {
+		t.Fatal("local TeachIDs not applied")
+	}
+}
+
+func TestSendLocalAggregatesEdgeLoad(t *testing.T) {
+	net, err := NewHybridLambdaGamma(graph.Path(8), 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two messages of 3 words each on the same edge (both directions):
+	// edge load 6 → ceil(6/2)=3 rounds.
+	r, err := net.SendLocal("x", []Msg{{From: 2, To: 3, Size: 3}, {From: 3, To: 2, Size: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Fatalf("rounds=%d, want 3", r)
+	}
+}
+
+func TestDeliverOneRoundDropsOverflow(t *testing.T) {
+	net, err := New(graph.Path(64), Config{}) // cap 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 messages into node 5: only 6 survive the adversary.
+	var msgs []Msg
+	for i := 10; i < 20; i++ {
+		msgs = append(msgs, Msg{From: i, To: 5})
+	}
+	delivered, err := net.DeliverOneRound("x", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 6 {
+		t.Fatalf("delivered %d, want cap=6", len(delivered))
+	}
+	if net.Rounds() != 1 {
+		t.Fatalf("rounds=%d, want 1", net.Rounds())
+	}
+	// Sender-side cap: node 0 can emit only 6 of 10.
+	msgs = msgs[:0]
+	for i := 10; i < 20; i++ {
+		msgs = append(msgs, Msg{From: 0, To: i})
+	}
+	delivered, err = net.DeliverOneRound("x", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 6 {
+		t.Fatalf("sender overflow delivered %d", len(delivered))
+	}
+}
+
+func TestDeliverOneRoundUnknownTargetsUndeliverable(t *testing.T) {
+	net, err := New(graph.Path(8), Config{Variant: VariantHybrid0, TrackKnowledge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := net.DeliverOneRound("x", []Msg{{From: 0, To: 7}, {From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 1 || delivered[0] != 1 {
+		t.Fatalf("delivered=%v, want only the neighbor message", delivered)
+	}
+}
+
+func TestDeliverOneRoundDisabledGlobal(t *testing.T) {
+	net, err := NewLOCAL(graph.Path(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.DeliverOneRound("x", []Msg{{From: 0, To: 1}}); err == nil {
+		t.Fatal("global delivery in LOCAL accepted")
+	}
+}
+
+func TestSendLocalEmptyAndRangeChecks(t *testing.T) {
+	net, err := NewLOCAL(graph.Path(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := net.SendLocal("x", nil); err != nil || r != 0 {
+		t.Fatal("empty send not free")
+	}
+	if _, err := net.SendLocal("x", []Msg{{From: 0, To: 9}}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package lower
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nq"
+)
+
+func TestNodeCommunication(t *testing.T) {
+	// min{(p·H−1)/(N·γ), h/2−1}
+	if got := NodeCommunication(1.0, 101, 10, 10, 100); got != 1.0 {
+		t.Fatalf("got %v, want 1.0", got)
+	}
+	if got := NodeCommunication(1.0, 1e9, 1, 1, 8); got != 3.0 {
+		t.Fatalf("got %v, want h/2-1=3", got)
+	}
+	if got := NodeCommunication(0.5, 1, 10, 10, 100); got != 0 {
+		t.Fatalf("negative bound not clamped: %v", got)
+	}
+	if got := NodeCommunication(1, 100, 0, 10, 10); got != 0 {
+		t.Fatalf("degenerate ball not handled: %v", got)
+	}
+}
+
+func TestDisseminationValidation(t *testing.T) {
+	g := graph.Path(16)
+	if _, err := Dissemination(g, 0, 4, 0.5); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Dissemination(g, 4, 0, 0.5); err == nil {
+		t.Fatal("gamma=0 accepted")
+	}
+	if _, err := Dissemination(g, 4, 4, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestDisseminationBoundPositiveOnPath(t *testing.T) {
+	g := graph.Path(400)
+	k := 400
+	b, err := Dissemination(g, k, 9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NQ < 6 {
+		t.Fatalf("NQ=%d too small for the reduction", b.NQ)
+	}
+	if b.Rounds <= 0 {
+		t.Fatal("lower bound vanished on the path")
+	}
+	// The bound is eΩ(NQ_k): it must be within polylog of NQ_k from below
+	// and can never exceed NQ_k itself (h/2-1 < NQ_k).
+	if b.Rounds > float64(b.NQ) {
+		t.Fatalf("bound %v exceeds NQ_k=%d", b.Rounds, b.NQ)
+	}
+}
+
+func TestDisseminationTrivialOnSmallNQ(t *testing.T) {
+	g := graph.Complete(32) // NQ_k small
+	b, err := Dissemination(g, 8, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds != 0 {
+		t.Fatalf("expected trivial bound, got %v", b.Rounds)
+	}
+}
+
+func TestWeightedKLSPBound(t *testing.T) {
+	g := graph.Path(300)
+	b, err := WeightedKLSP(g, 128, 8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds <= 0 {
+		t.Fatal("weighted (k,l)-SP bound vanished on path")
+	}
+	// The weighted bound uses h = NQ_k - 1, so it is at least as strong
+	// as the dissemination bound with its h = ⌊(NQ_k−1)/3⌋−1.
+	d, err := Dissemination(g, 128, 8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds < d.Rounds {
+		t.Fatalf("weighted bound %v weaker than dissemination bound %v", b.Rounds, d.Rounds)
+	}
+	if _, err := WeightedKLSP(g, 0, 8, 0.9); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestExistentialSqrtK(t *testing.T) {
+	if got := ExistentialSqrtK(100, 1); got != 10 {
+		t.Fatalf("got %v", got)
+	}
+	if got := ExistentialSqrtK(100, 4); got != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if got := ExistentialSqrtK(100, 0); got != 10 {
+		t.Fatalf("gamma clamp failed: %v", got)
+	}
+}
+
+func TestBuildLemma74Validation(t *testing.T) {
+	g := graph.Path(40)
+	if _, err := BuildLemma74(g, 0, 100); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BuildLemma74(g, 30, 100); err == nil {
+		t.Fatal("k>n/2 accepted")
+	}
+	if _, err := BuildLemma74(g, 10, 1); err == nil {
+		t.Fatal("poly<2 accepted")
+	}
+	// NQ too small on a clique.
+	if _, err := BuildLemma74(graph.Complete(20), 4, 100); err == nil {
+		t.Fatal("NQ<3 accepted")
+	}
+}
+
+// Lemma 7.4 property (2): the constructed weights separate V1 from V2 by
+// at least the polynomial factor.
+func TestLemma74Separation(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(200), graph.Grid(14, 2)} {
+		k := g.N() / 4
+		p, err := BuildLemma74(g, k, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.N()
+		if len(p.V1) < n/4 || len(p.V2) < n/4-1 {
+			t.Fatalf("partition sizes |V1|=%d |V2|=%d below n/4=%d", len(p.V1), len(p.V2), n/4)
+		}
+		if sep := p.Separation(); sep < 50 {
+			t.Fatalf("separation %.1f < poly=50", sep)
+		}
+		// Partition is disjoint and avoids the witness ball.
+		q, err := nq.Of(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := g.BFS(p.Witness)
+		seen := map[int]bool{}
+		for _, v := range append(append([]int{}, p.V1...), p.V2...) {
+			if seen[v] {
+				t.Fatalf("node %d in both parts", v)
+			}
+			seen[v] = true
+			if dist[v] <= int64(q-1) {
+				t.Fatalf("node %d inside B_r(witness)", v)
+			}
+		}
+	}
+}
+
+// Lemma 3.6 sanity: the eΩ(NQ_k) bound on paths grows like √k.
+func TestBoundScalesOnPath(t *testing.T) {
+	g := graph.Path(2000)
+	var prev float64
+	for _, k := range []int{256, 1024} {
+		b, err := Dissemination(g, k, 11, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 {
+			growth := b.Rounds / prev
+			if growth < 1.2 || growth > 3.5 {
+				t.Fatalf("bound growth %.2f for 4× k, want ≈ 2 (√k scaling)", growth)
+			}
+		}
+		prev = b.Rounds
+		_ = math.Sqrt // doc anchor
+	}
+}

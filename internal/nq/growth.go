@@ -1,0 +1,72 @@
+package nq
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file covers Theorem 17 and Section 3.3: NQ_k on graphs with
+// polynomial neighborhood growth. If |B_r(v)| ∈ Ω(r^d) for all v and
+// r ≤ D, then D ∈ O(n^{1/d}) and NQ_k ∈ min{D, O(k^{1/(d+1)})} — the
+// reason d-dimensional grids (Definition 3.9) beat the existential √k
+// bound by a polynomial factor.
+
+// GrowthExponent estimates the smallest empirical growth exponent d of
+// g: the largest d such that |B_r(v)| ≥ c·r^d holds for every node v
+// and radius r ≤ maxR (c = the best constant for that d). It probes
+// d ∈ {1, 1.5, 2, 2.5, 3} and returns the largest one whose worst-case
+// constant is at least minConst. Used by tests and the harness to decide
+// which Theorem 17 prediction applies to a family.
+func GrowthExponent(g *graph.Graph, maxR int, minConst float64) float64 {
+	best := 0.0
+	for _, d := range []float64{1, 1.5, 2, 2.5, 3} {
+		if c := worstGrowthConstant(g, maxR, d); c >= minConst {
+			best = d
+		}
+	}
+	return best
+}
+
+// worstGrowthConstant returns min over v, r ≤ maxR of |B_r(v)|/r^d.
+func worstGrowthConstant(g *graph.Graph, maxR int, d float64) float64 {
+	worst := math.Inf(1)
+	n := g.N()
+	for v := 0; v < n; v++ {
+		sizes := g.BallSizes(v, maxR)
+		for r := 1; r <= maxR; r++ {
+			size := n
+			if r < len(sizes) {
+				size = sizes[r]
+			}
+			c := float64(size) / math.Pow(float64(r), d)
+			if c < worst {
+				worst = c
+			}
+		}
+	}
+	return worst
+}
+
+// Theorem17Prediction returns the Theorem 17 upper bound
+// min{D, ⌈k^{1/(d+1)}⌉} on NQ_k for a graph with growth exponent d.
+func Theorem17Prediction(diameter int64, k int, d float64) int {
+	pred := int(math.Ceil(math.Pow(float64(k), 1/(d+1))))
+	if int64(pred) > diameter && diameter > 0 {
+		pred = int(diameter)
+	}
+	if pred < 1 {
+		pred = 1
+	}
+	return pred
+}
+
+// DiameterBoundFromGrowth returns the Theorem 17 diameter bound
+// O(n^{1/d}) with the explicit constant from |B_r(v)| ≥ c·r^d:
+// |B_D(v)| ≤ n forces D ≤ (n/c)^{1/d}.
+func DiameterBoundFromGrowth(n int, c, d float64) float64 {
+	if c <= 0 || d <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(float64(n)/c, 1/d)
+}

@@ -1,0 +1,86 @@
+package nq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGrowthExponentFamilies(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *graph.Graph
+		minConst float64 // Ω(·) constant: corners of a d-grid have |B_r| ≈ r^d/d!
+		want     float64 // expected growth exponent (at least)
+	}{
+		{"path", graph.Path(200), 0.5, 1},
+		{"grid2d", graph.Grid(16, 2), 0.4, 2},
+		{"grid3d", graph.Grid(7, 3), 0.12, 3},
+	}
+	for _, c := range cases {
+		maxR := int(c.g.Diameter()) / 2
+		if maxR < 2 {
+			maxR = 2
+		}
+		got := GrowthExponent(c.g, maxR, c.minConst)
+		if got < c.want {
+			t.Errorf("%s: growth exponent %v < %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Theorem 17: NQ_k ≤ min{D, O(k^{1/(d+1)})} on growth-bounded graphs,
+// and D ∈ O(n^{1/d}).
+func TestTheorem17OnGrids(t *testing.T) {
+	cases := []struct {
+		g *graph.Graph
+		d float64
+	}{
+		{graph.Grid(20, 2), 2},
+		{graph.Grid(8, 3), 3},
+	}
+	for _, c := range cases {
+		diam := c.g.Diameter()
+		// Diameter bound with the measured growth constant.
+		cst := worstGrowthConstant(c.g, int(diam), c.d)
+		if cst <= 0 {
+			t.Fatalf("d=%v: zero growth constant", c.d)
+		}
+		if bound := DiameterBoundFromGrowth(c.g.N(), cst, c.d); float64(diam) > bound {
+			t.Errorf("d=%v: D=%d exceeds Theorem 17 bound %.1f", c.d, diam, bound)
+		}
+		for _, k := range []int{8, 64, 512} {
+			q, err := Of(c.g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := Theorem17Prediction(diam, k, c.d)
+			// NQ_k within a constant factor (4) of the prediction.
+			if q > 4*pred {
+				t.Errorf("d=%v k=%d: NQ=%d > 4×prediction %d", c.d, k, q, pred)
+			}
+		}
+	}
+}
+
+func TestTheorem17PredictionEdgeCases(t *testing.T) {
+	if Theorem17Prediction(100, 16, 1) != 4 {
+		t.Fatal("k^{1/2} prediction")
+	}
+	if Theorem17Prediction(3, 10000, 1) != 3 { // capped at D
+		t.Fatal("diameter cap")
+	}
+	if Theorem17Prediction(10, 0, 2) != 1 {
+		t.Fatal("floor at 1")
+	}
+}
+
+func TestDiameterBoundDegenerate(t *testing.T) {
+	if !math.IsInf(DiameterBoundFromGrowth(10, 0, 2), 1) {
+		t.Fatal("c=0 must give Inf")
+	}
+	if !math.IsInf(DiameterBoundFromGrowth(10, 1, 0), 1) {
+		t.Fatal("d=0 must give Inf")
+	}
+}

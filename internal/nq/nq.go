@@ -1,0 +1,162 @@
+// Package nq implements the paper's central graph parameter, the
+// neighborhood quality NQ_k (Definition 3.1):
+//
+//	NQ_k(v) = min({t : |B_t(v)| ≥ k/t} ∪ {D})   and   NQ_k(G) = max_v NQ_k(v),
+//
+// together with the distributed eÕ(NQ_k)-round computation of Lemma 3.3 and
+// the small-neighborhood witness of Lemma 3.8 used by the lower bounds.
+package nq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/overlay"
+)
+
+// PerNode returns NQ_k(v) for every node, plus NQ_k(G) = max_v NQ_k(v).
+// The diameter D is computed exactly (O(n·m)); per-node ball growth stops
+// as soon as the defining condition t·|B_t(v)| ≥ k holds.
+func PerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, errors.New("nq: empty graph")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("nq: non-positive k=%d", k)
+	}
+	diam := g.Diameter()
+	if diam >= graph.Inf {
+		return nil, 0, graph.ErrDisconnected
+	}
+	d := int(diam)
+	if d == 0 {
+		d = 1 // single-node graph: NQ_k(v) is capped at D, use 1 as in NQ_k ≥ 1
+	}
+	perNode = make([]int, n)
+	for v := 0; v < n; v++ {
+		perNode[v] = perNodeValue(g, v, k, d)
+		if perNode[v] > nq {
+			nq = perNode[v]
+		}
+	}
+	return perNode, nq, nil
+}
+
+// Of returns NQ_k(G).
+func Of(g *graph.Graph, k int) (int, error) {
+	_, v, err := PerNode(g, k)
+	return v, err
+}
+
+func perNodeValue(g *graph.Graph, v, k, d int) int {
+	sizes := g.BallSizes(v, d)
+	n := g.N()
+	for t := 1; t <= d; t++ {
+		size := n
+		if t < len(sizes) {
+			size = sizes[t]
+		}
+		if int64(t)*int64(size) >= int64(k) {
+			return t
+		}
+	}
+	return d
+}
+
+// Witness returns a node v maximizing NQ_k(v) — by Lemma 3.8 it satisfies
+// |B_r(v)| < k/r for every r < NQ_k, which the lower-bound constructions
+// of Section 7 exploit.
+func Witness(g *graph.Graph, k int) (v, nqv int, err error) {
+	per, _, err := PerNode(g, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	v = 0
+	for u, q := range per {
+		if q > per[v] {
+			v = u
+		}
+	}
+	return v, per[v], nil
+}
+
+// Distributed computes NQ_k in the HYBRID₀ model following Lemma 3.3:
+// every node explores its neighborhood to increasing depth t (one local
+// round per step) and after each step the network computes
+// N_t = min_v |B_t(v)| with a Lemma 4.4 aggregation, stopping at the first
+// t with N_t ≥ k/t. Total cost eÕ(NQ_k) rounds, which the engine records.
+// The returned value always equals the centralized one.
+func Distributed(net *hybrid.Net, k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("nq: non-positive k=%d", k)
+	}
+	// Once computed, NQ_k is global knowledge for the rest of the
+	// execution (Lemma 3.3 is run once); later calls are free.
+	memoKey := fmt.Sprintf("nq/k=%d", k)
+	if cached, ok := net.Memo(memoKey); ok {
+		return cached.(int), nil
+	}
+	g := net.Graph()
+	diam := g.Diameter()
+	if diam >= graph.Inf {
+		return 0, graph.ErrDisconnected
+	}
+	d := int(diam)
+	if d == 0 {
+		d = 1
+	}
+	out, err := distributedRun(net, g, k, d)
+	if err != nil {
+		return 0, err
+	}
+	net.SetMemo(memoKey, out)
+	return out, nil
+}
+
+func distributedRun(net *hybrid.Net, g *graph.Graph, k, d int) (int, error) {
+	// One overlay tree is reused for every per-step aggregation.
+	tree := overlay.Build(net, "nq")
+	n := g.N()
+	// minBallAt[t] = min_v |B_t(v)|, computed incrementally.
+	sizes := make([][]int, n)
+	for v := 0; v < n; v++ {
+		sizes[v] = g.BallSizes(v, d)
+	}
+	ballAt := func(v, t int) int {
+		if t < len(sizes[v]) {
+			return sizes[v][t]
+		}
+		return n
+	}
+	for t := 1; t <= d; t++ {
+		net.TickLocal("nq/explore", 1)
+		if _, err := tree.Aggregate("nq", 1); err != nil {
+			return 0, err
+		}
+		minBall := n
+		for v := 0; v < n; v++ {
+			if s := ballAt(v, t); s < minBall {
+				minBall = s
+			}
+		}
+		if int64(t)*int64(minBall) >= int64(k) {
+			return t, nil
+		}
+	}
+	return d, nil
+}
+
+// UpperBound returns min{D, ⌈√k⌉}, the Lemma 3.6 upper bound on NQ_k.
+func UpperBound(diameter int64, k int) int {
+	s := 1
+	for int64(s)*int64(s) < int64(k) {
+		s++
+	}
+	if int64(s) > diameter && diameter > 0 {
+		return int(diameter)
+	}
+	return s
+}

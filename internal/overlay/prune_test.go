@@ -1,0 +1,122 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func TestPruneValidation(t *testing.T) {
+	net := newNet(t, graph.Path(16), hybrid.Config{})
+	tr := Build(net, "x")
+	if _, err := Prune(net, tr, nil, "x"); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+	if _, err := Prune(net, tr, func(int) bool { return false }, "x"); err == nil {
+		t.Fatal("empty kept set accepted")
+	}
+}
+
+func TestPruneKeepAll(t *testing.T) {
+	net := newNet(t, graph.Path(31), hybrid.Config{})
+	tr := Build(net, "x")
+	pt, err := Prune(net, tr, func(int) bool { return true }, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Members()) != 31 {
+		t.Fatalf("members=%d", len(pt.Members()))
+	}
+	if pt.Depth() > tr.Depth() {
+		t.Fatalf("depth grew: %d > %d", pt.Depth(), tr.Depth())
+	}
+}
+
+func TestPruneSingleton(t *testing.T) {
+	net := newNet(t, graph.Path(16), hybrid.Config{})
+	tr := Build(net, "x")
+	pt, err := Prune(net, tr, func(v int) bool { return v == 7 }, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Root != 7 || len(pt.Members()) != 1 || pt.Depth() != 0 {
+		t.Fatalf("singleton prune wrong: root=%d members=%d", pt.Root, len(pt.Members()))
+	}
+	if pt.Parent(7) != -1 || pt.Parent(3) != -1 {
+		t.Fatal("parent of root / non-member must be -1")
+	}
+}
+
+// Lemma 4.5 guarantees: the pruned tree spans exactly U, has depth ≤ d
+// and maximum degree O(c·d) — here c = 3 (binary tree + parent), so the
+// bound is 3·(d+1).
+func TestPruneLemma45PropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		net, err := hybrid.New(graph.Path(n), hybrid.Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		tr := Build(net, "q")
+		kept := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				kept[v] = true
+			}
+		}
+		if len(kept) == 0 {
+			kept[rng.Intn(n)] = true
+		}
+		pt, err := Prune(net, tr, func(v int) bool { return kept[v] }, "q")
+		if err != nil {
+			return false
+		}
+		members := pt.Members()
+		if len(members) != len(kept) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range members {
+			if !kept[v] || seen[v] {
+				return false
+			}
+			seen[v] = true
+			// Parent/child links are mutually consistent.
+			for _, c := range pt.Children(v) {
+				if pt.Parent(c) != v {
+					return false
+				}
+			}
+		}
+		d := tr.Depth()
+		if pt.Depth() > d {
+			return false
+		}
+		return pt.MaxDegree() <= 3*(d+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pruned-tree endpoints must know each other, so HYBRID₀ traffic along
+// the pruned tree passes the knowledge checks.
+func TestPruneTeachesEndpoints(t *testing.T) {
+	net := newNet(t, graph.Path(64), hybrid.Config{Variant: hybrid.VariantHybrid0, TrackKnowledge: true})
+	tr := Build(net, "x")
+	pt, err := Prune(net, tr, func(v int) bool { return v%5 == 0 }, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pt.Members() {
+		for _, c := range pt.Children(v) {
+			if _, err := net.SendGlobal("x", []hybrid.Msg{{From: v, To: c}, {From: c, To: v}}); err != nil {
+				t.Fatalf("pruned edge (%d,%d) not addressable: %v", v, c, err)
+			}
+		}
+	}
+}

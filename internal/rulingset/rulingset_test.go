@@ -1,0 +1,104 @@
+package rulingset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestAlphaOneIsAllNodes(t *testing.T) {
+	g := graph.Path(5)
+	w, err := Compute(g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 5 {
+		t.Fatalf("alpha=1 ruling set has %d nodes, want all 5", len(w))
+	}
+}
+
+func TestPathAlpha3(t *testing.T) {
+	g := graph.Path(10)
+	w, err := Compute(g, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, w, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy in index order on a path picks 0, 3, 6, 9.
+	want := []int{0, 3, 6, 9}
+	if len(w) != len(want) {
+		t.Fatalf("got %v, want %v", w, want)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("got %v, want %v", w, want)
+		}
+	}
+}
+
+func TestInvalidAlpha(t *testing.T) {
+	if _, err := Compute(graph.Path(3), nil, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}
+
+func TestBadOrderLength(t *testing.T) {
+	if _, err := Compute(graph.Path(3), []int{0, 1}, 2); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	g := graph.Path(6)
+	if err := Verify(g, []int{0, 1}, 3, 2); err == nil {
+		t.Fatal("adjacent rulers accepted for alpha=3")
+	}
+	if err := Verify(g, []int{0}, 3, 2); err == nil {
+		t.Fatal("node 5 at distance 5 > beta=2 accepted")
+	}
+	if err := Verify(g, nil, 3, 2); err == nil {
+		t.Fatal("empty ruling set accepted")
+	}
+}
+
+// Property: for random graphs and alphas the greedy output is a valid
+// (alpha, alpha-1)-ruling set.
+func TestGreedyPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := graph.RandomConnected(n, 0.08, rng)
+		alpha := 1 + rng.Intn(6)
+		w, err := Compute(g, nil, alpha)
+		if err != nil {
+			return false
+		}
+		return Verify(g, w, alpha, alpha-1) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomOrderRespected(t *testing.T) {
+	g := graph.Path(10)
+	// Reverse order: greedy should pick 9, 6, 3, 0.
+	order := make([]int, 10)
+	for i := range order {
+		order[i] = 9 - i
+	}
+	w, err := Compute(g, order, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 3: true, 6: true, 9: true}
+	for _, v := range w {
+		if !want[v] {
+			t.Fatalf("unexpected ruler %d in %v", v, w)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package spanner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func TestInvalidK(t *testing.T) {
+	if _, err := Compute(graph.Path(4), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestK1IsWholeGraph(t *testing.T) {
+	g := graph.Complete(8)
+	h, err := Compute(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-spanner of an unweighted clique must keep every edge.
+	if h.M() != g.M() {
+		t.Fatalf("1-spanner dropped edges: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestCliqueK2SparseAndStretch(t *testing.T) {
+	g := graph.Complete(40)
+	h, err := Compute(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() >= g.M() {
+		t.Fatalf("3-spanner of K40 not sparser: %d edges", h.M())
+	}
+	if err := VerifyStretch(g, h, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(60, 0.4, rng)
+	for _, k := range []int{2, 3, 4} {
+		h, err := Compute(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy spanner has girth > 2k ⇒ O(n^{1+1/k}) edges; enforce the
+		// concrete Moore-type bound n^{1+1/k}+n.
+		bound := math.Pow(60, 1+1.0/float64(k)) + 60
+		if float64(h.M()) > bound {
+			t.Fatalf("(2·%d-1)-spanner has %d edges > bound %.0f", k, h.M(), bound)
+		}
+		if err := VerifyStretch(g, h, int64(2*k-1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWeightedStretchQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := graph.RandomWeights(graph.RandomConnected(n, 0.2, rng), 30, rng)
+		k := 2 + rng.Intn(3)
+		h, err := Compute(g, k)
+		if err != nil {
+			return false
+		}
+		return VerifyStretch(g, h, int64(2*k-1), 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpannerConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomConnected(80, 0.15, rng)
+	h, err := Compute(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Connected() {
+		t.Fatal("spanner disconnected")
+	}
+}
+
+func TestDistributedChargesRounds(t *testing.T) {
+	net, err := hybrid.New(graph.Grid(8, 2), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Distributed(net, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, charged := net.RoundsByKind()
+	p := net.PLog()
+	if charged != p*p {
+		t.Fatalf("charged=%d, want %d", charged, p*p)
+	}
+}
+
+func TestVerifyStretchDetectsViolation(t *testing.T) {
+	g := graph.Cycle(10)
+	h := graph.Path(10) // dropping the wrap edge gives stretch 9 for (0,9)
+	if err := VerifyStretch(g, h, 3, 0); err == nil {
+		t.Fatal("stretch violation not detected")
+	}
+	if err := VerifyStretch(g, graph.Path(9), 3, 0); err == nil {
+		t.Fatal("node-count mismatch not detected")
+	}
+}

@@ -1,0 +1,11 @@
+package unicast
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/hybrid"
+)
+
+// clusterBuild keeps the property tests readable.
+func clusterBuild(net *hybrid.Net, k int) (*cluster.Clustering, error) {
+	return cluster.Build(net, k)
+}

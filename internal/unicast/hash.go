@@ -1,0 +1,56 @@
+package unicast
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// hashPrime is the field modulus for the polynomial hash family
+// (Lemma A.6): a Mersenne prime comfortably above n² for every n the
+// simulator handles.
+const hashPrime int64 = (1 << 31) - 1
+
+// Hash is a κ-wise independent hash function h : [n]×[n] → [n]
+// (Lemma 5.3 / Lemma A.6), realized as a random polynomial of degree κ−1
+// over GF(hashPrime) evaluated at an encoding of the identifier pair.
+// Its seed has κ field elements, i.e. eÕ(NQ_k) words for the paper's
+// κ ∈ Θ(NQ_k·log n), which is what the seed broadcast charges.
+type Hash struct {
+	coeff []int64
+	n     int64
+}
+
+// NewHash draws a κ-wise independent hash onto [n] from rng.
+func NewHash(n, kappa int, rng *rand.Rand) (*Hash, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("unicast: hash range n=%d", n)
+	}
+	if kappa < 1 {
+		kappa = 1
+	}
+	h := &Hash{coeff: make([]int64, kappa), n: int64(n)}
+	for i := range h.coeff {
+		h.coeff[i] = rng.Int63n(hashPrime)
+	}
+	return h, nil
+}
+
+// SeedWords returns the seed size in O(log n)-bit words.
+func (h *Hash) SeedWords() int { return len(h.coeff) }
+
+// Eval returns h(i, j) ∈ [0, n).
+func (h *Hash) Eval(i, j int64) int {
+	// Encode the pair injectively modulo the prime (identifier ranges are
+	// far below hashPrime, so the encoding is injective in practice).
+	x := (i%hashPrime*65537 + j%hashPrime) % hashPrime
+	// Horner evaluation.
+	var acc int64
+	for _, c := range h.coeff {
+		acc = (mulMod(acc, x) + c) % hashPrime
+	}
+	return int(acc % h.n)
+}
+
+// mulMod multiplies modulo hashPrime without 64-bit overflow
+// (both operands < 2^31, so the product fits in int64 directly).
+func mulMod(a, b int64) int64 { return (a * b) % hashPrime }

@@ -1,0 +1,172 @@
+package unicast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+// Property: random case-3 instances always deliver exactly k·ℓ pairs and
+// keep the hashed-intermediate load within the Lemma 5.3 envelope.
+func TestRoutePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(150)
+		g := graph.RandomConnected(n, 0.04, rng)
+		net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		k := 4 + rng.Intn(n/4)
+		l := 1 + rng.Intn(4)
+		sources := SampleNodes(n, float64(k)/float64(n), rng)
+		targets := SampleNodes(n, float64(l)/float64(n), rng)
+		if len(sources) == 0 || len(targets) == 0 {
+			return true // vacuous sample
+		}
+		res, err := Route(net, Spec{
+			Case:    RandomSourcesRandomTargets,
+			Sources: sources, Targets: targets, K: k, L: l,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		if res.Pairs != int64(len(sources)*len(targets)) {
+			return false
+		}
+		// Lemma 5.3 (1): per-intermediate load O(kℓ/n + NQ_k·log n).
+		limit := int(res.Pairs)/n + 8*(res.NQ+1)*net.PLog()
+		return res.MaxIntermediateLoad <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reversal symmetry: case (2) (random sources, arbitrary targets) and
+// case (1) with roles swapped drive the same NQ parameter.
+func TestReversalUsesSwappedParameter(t *testing.T) {
+	g := graph.Path(200)
+	rng := rand.New(rand.NewSource(4))
+	net, err := hybrid.New(g, hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := 64
+	targets := make([]int, l)
+	for i := range targets {
+		targets[i] = i
+	}
+	sources := SampleNodes(g.N(), 2.0/float64(g.N()), rng)
+	if len(sources) == 0 {
+		sources = []int{g.N() - 1}
+	}
+	res, err := Route(net, Spec{Case: RandomSourcesArbitraryTargets, Sources: sources, Targets: targets, K: 2, L: l}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must be driven by NQ_ℓ (ℓ=64 → NQ ≈ 8 on the path), not
+	// NQ_k (k=2 → NQ = 1).
+	if res.NQ < 4 {
+		t.Fatalf("NQ=%d, expected the reversed (ℓ-driven) parameter", res.NQ)
+	}
+}
+
+func TestCaseStrings(t *testing.T) {
+	for c, want := range map[Case]string{
+		ArbitrarySourcesRandomTargets: "arbitrary-sources/random-targets",
+		RandomSourcesArbitraryTargets: "random-sources/arbitrary-targets",
+		RandomSourcesRandomTargets:    "random-sources/random-targets",
+		Case(42):                      "Case(42)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d: %q", int(c), c.String())
+		}
+	}
+}
+
+func TestRouteConditionsNotMetStillDelivers(t *testing.T) {
+	// Violating the Theorem 3 case (1) condition ℓ > NQ_k must not break
+	// delivery — only the round guarantee degrades, which the result
+	// reports via ConditionsMet.
+	g := graph.Grid(10, 2)
+	net, err := hybrid.New(g, hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	n := g.N()
+	targets := SampleNodes(n, 0.5, rng) // ℓ ≈ n/2 ≫ NQ_k
+	sources := []int{0, 1, 2, 3}
+	res, err := Route(net, Spec{Case: ArbitrarySourcesRandomTargets, Sources: sources, Targets: targets, K: 4, L: n / 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConditionsMet {
+		t.Fatal("ℓ ≫ NQ_k reported as conditions met")
+	}
+	if res.Pairs != int64(4*len(targets)) {
+		t.Fatal("delivery incomplete")
+	}
+}
+
+// Helper sets degrade gracefully for adversarially concentrated W: the
+// fallback keeps every owner with at least itself as helper.
+func TestHelperSetsConcentratedOwners(t *testing.T) {
+	g := graph.Grid(12, 2)
+	net, err := hybrid.New(g, hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cl, err := clusterBuild(net, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node of one cluster is an owner — far denser than the
+	// NQ_k/k sampling Lemma 5.2 assumes.
+	w := append([]int(nil), cl.Clusters[0].Members...)
+	hs, err := HelperSets(net, cl, w, g.N(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range w {
+		if len(hs[owner]) == 0 {
+			t.Fatalf("owner %d lost all helpers", owner)
+		}
+	}
+}
+
+// Hash seeds must change the mapping (different rng → different h) while
+// a fixed seed reproduces it — routing is Monte Carlo but replayable.
+func TestHashSeedSensitivity(t *testing.T) {
+	h1, err := NewHash(1000, 32, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1b, err := NewHash(1000, 32, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewHash(1000, 32, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := 0, 0
+	for i := int64(0); i < 200; i++ {
+		if h1.Eval(i, i+1) != h1b.Eval(i, i+1) {
+			t.Fatal("same seed produced different hashes")
+		}
+		if h1.Eval(i, i+1) == h2.Eval(i, i+1) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff < 150 {
+		t.Fatalf("different seeds nearly identical: same=%d diff=%d", same, diff)
+	}
+}
