@@ -1,5 +1,6 @@
 // Package repro_test hosts the benchmark harness: one testing.B benchmark
-// per table and figure of the paper (DESIGN.md §4). Each benchmark runs
+// per table and figure of the paper (see the experiment index in the
+// internal/experiments package documentation). Each benchmark runs
 // the corresponding universal algorithm in the simulator and reports the
 // measured synchronous-round count (metric "rounds") next to the
 // evaluated prior-work formula ("baseline-rounds") and, where defined,
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/apsp"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hybrid"
 	"repro/internal/lower"
+	"repro/internal/runner"
 	"repro/internal/sssp"
 	"repro/internal/unicast"
 )
@@ -340,6 +343,38 @@ func betaToK(n int, beta float64) int {
 		k = n
 	}
 	return k
+}
+
+// BenchmarkRunnerParallel measures the scenario-sweep runner on a full
+// Table 2 sweep over all eleven families, serial versus a
+// GOMAXPROCS-sized worker pool. The sweep cells are independent, so on
+// multi-core hardware the parallel sub-benchmark shows the wall-clock
+// win directly (on one core the two coincide); the row outputs are
+// byte-identical either way — see the determinism tests in
+// internal/runner and internal/experiments.
+func BenchmarkRunnerParallel(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	}
+	for _, v := range variants {
+		workers := v.workers
+		b.Run(v.name, func(b *testing.B) {
+			var rows int
+			for i := 0; i < b.N; i++ {
+				sc := experiments.Table2Scenario(experiments.DefaultFamilies(), 144, 1)
+				out, err := runner.Collect(&runner.Runner{Workers: workers}, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(out)
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
 }
 
 // BenchmarkNQScaling regenerates the Theorem 15/16 NQ_k tables.

@@ -1,38 +1,69 @@
 // Command experiments regenerates every table and figure of the paper's
-// results section (DESIGN.md §4 maps each to its modules) as markdown.
+// results section by sweeping the registered scenarios of
+// internal/experiments on a parallel runner.
 //
 // Usage:
 //
-//	experiments                  # everything at the default scale
+//	experiments                        # everything at the default scale
 //	experiments -table 1 -n 1024
 //	experiments -figure 1
-//	experiments -nq              # Theorem 15/16 scaling tables
+//	experiments -nq                    # Theorem 15/16 scaling tables
+//	experiments -parallel 8            # worker-pool size (0 = GOMAXPROCS)
+//	experiments -families path,grid2d  # restrict the family axis
+//	experiments -format jsonl          # md (default), csv or jsonl
+//
+// Output is deterministic for a fixed seed regardless of -parallel.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/graph"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	table := flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
-	figure := flag.Int("figure", 0, "regenerate figure 1")
-	nqOnly := flag.Bool("nq", false, "only the NQ scaling tables")
-	n := flag.Int("n", 576, "approximate node count")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	table := fs.Int("table", 0, "regenerate one table (1-4); 0 = all")
+	figure := fs.Int("figure", 0, "regenerate figure 1")
+	nqOnly := fs.Bool("nq", false, "only the NQ scaling tables")
+	n := fs.Int("n", 576, "approximate node count")
+	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	families := fs.String("families", "", "comma-separated graph families (default: all; figure 1 defaults to path,grid2d and the NQ section intersects with its four theorem families)")
+	format := fs.String("format", "md", "output format: md, csv or jsonl")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
-	cfg := experiments.ReportConfig{N: *n, Seed: *seed}
+	cfg := experiments.ReportConfig{
+		N:       *n,
+		Seed:    *seed,
+		Workers: *parallel,
+		Format:  *format,
+	}
+	if *families != "" {
+		fams, err := parseFamilies(*families)
+		if err != nil {
+			return err
+		}
+		cfg.Families = fams
+	}
 	switch {
 	case *nqOnly:
 		cfg.NQ = true
@@ -43,5 +74,21 @@ func run() error {
 		cfg.Figure1 = true
 		cfg.Tables = []int{}
 	}
-	return experiments.WriteReport(os.Stdout, cfg)
+	return experiments.WriteReport(w, cfg)
+}
+
+func parseFamilies(s string) ([]graph.Family, error) {
+	known := make(map[graph.Family]bool)
+	for _, f := range graph.Families() {
+		known[f] = true
+	}
+	var out []graph.Family
+	for _, part := range strings.Split(s, ",") {
+		f := graph.Family(strings.TrimSpace(part))
+		if !known[f] {
+			return nil, fmt.Errorf("unknown family %q (known: %v)", f, graph.Families())
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTableMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-table", "4", "-n", "64", "-families", "path"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "| path |") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "Table 1") {
+		t.Fatal("unselected table present")
+	}
+}
+
+func TestRunFormatsAndParallel(t *testing.T) {
+	render := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-nq", "-n", "64"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if out := render("-format", "csv"); !strings.HasPrefix(out, "table,family") {
+		t.Fatalf("csv:\n%s", out)
+	}
+	if out := render("-format", "jsonl"); !strings.Contains(out, `"table":"nqscaling"`) {
+		t.Fatalf("jsonl:\n%s", out)
+	}
+	// -parallel must not change the bytes.
+	if render("-parallel", "1") != render("-parallel", "8") {
+		t.Fatal("output depends on -parallel")
+	}
+}
+
+func TestRunFamiliesReachEverySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "1", "-n", "64", "-families", "expander"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "landscape on expander") {
+		t.Fatalf("figure 1 ignored -families:\n%s", out)
+	}
+	if strings.Contains(out, "grid2d") {
+		t.Fatalf("figure 1 kept default families:\n%s", out)
+	}
+
+	// The NQ section intersects with its theorem families: expander has
+	// no prediction, so the table renders empty rather than lying.
+	buf.Reset()
+	if err := run([]string{"-nq", "-n", "64", "-families", "expander,cycle"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "| cycle |") || strings.Contains(out, "expander") {
+		t.Fatalf("nq intersection wrong:\n%s", out)
+	}
+	buf.Reset()
+	if err := run([]string{"-nq", "-n", "64", "-families", "expander"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NQ_k scaling") || strings.Contains(buf.String(), "| expander |") {
+		t.Fatalf("empty nq intersection:\n%s", buf.String())
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-families", "nosuch"}, &buf); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := run([]string{"-table", "9", "-n", "64"}, &buf); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-format", "xml", "-nq", "-n", "64"}, &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestParseFamilies(t *testing.T) {
+	fams, err := parseFamilies("path, grid2d,expander")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 || string(fams[1]) != "grid2d" {
+		t.Fatalf("fams=%v", fams)
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,22 +22,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	algo := flag.String("algo", "disseminate", "disseminate|aggregate|route|bcc|sssp|kssp|apsp-unweighted|apsp-sparse|apsp-spanner|apsp-skeleton|klsp|cuts")
-	family := flag.String("family", "grid2d", "graph family")
-	n := flag.Int("n", 1024, "approximate node count")
-	k := flag.Int("k", 0, "workload (default n)")
-	l := flag.Int("l", 4, "targets for routing/klsp")
-	eps := flag.Float64("eps", 0.5, "approximation parameter")
-	seed := flag.Int64("seed", 1, "random seed")
-	hybrid0 := flag.Bool("hybrid0", false, "use the HYBRID0 variant")
-	flag.Parse()
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	algo := fs.String("algo", "disseminate", "disseminate|aggregate|route|bcc|sssp|kssp|apsp-unweighted|apsp-sparse|apsp-spanner|apsp-skeleton|klsp|cuts")
+	family := fs.String("family", "grid2d", "graph family")
+	n := fs.Int("n", 1024, "approximate node count")
+	k := fs.Int("k", 0, "workload (default n)")
+	l := fs.Int("l", 4, "targets for routing/klsp")
+	eps := fs.Float64("eps", 0.5, "approximation parameter")
+	seed := fs.Int64("seed", 1, "random seed")
+	hybrid0 := fs.Bool("hybrid0", false, "use the HYBRID0 variant")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := graph.Build(graph.Family(*family), *n, rng)
@@ -55,7 +63,7 @@ func run() error {
 	if kk <= 0 {
 		kk = nn
 	}
-	fmt.Printf("# %s on %s: n=%d m=%d D=%d γ=%d\n", *algo, *family, nn, g.M(), g.Diameter(), net.Cap())
+	fmt.Fprintf(w, "# %s on %s: n=%d m=%d D=%d γ=%d\n", *algo, *family, nn, g.M(), g.Diameter(), net.Cap())
 
 	switch *algo {
 	case "disseminate":
@@ -65,19 +73,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k=%d NQ_k=%d clusters=%d → %d rounds\n", res.K, res.NQ, res.Clusters, res.Rounds)
+		fmt.Fprintf(w, "k=%d NQ_k=%d clusters=%d → %d rounds\n", res.K, res.NQ, res.Clusters, res.Rounds)
 	case "aggregate":
 		_, res, err := net.Aggregate(kk, nil, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k=%d NQ_k=%d → %d rounds\n", res.K, res.NQ, res.Rounds)
+		fmt.Fprintf(w, "k=%d NQ_k=%d → %d rounds\n", res.K, res.NQ, res.Rounds)
 	case "bcc":
 		res, err := net.BCCRound()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("one BCC round: NQ_n=%d → %d rounds\n", res.NQ, res.Rounds)
+		fmt.Fprintf(w, "one BCC round: NQ_n=%d → %d rounds\n", res.NQ, res.Rounds)
 	case "route":
 		sources := make([]int, min(kk, nn))
 		for i := range sources {
@@ -94,44 +102,44 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k=%d ℓ=%d pairs=%d NQ_k=%d → %d rounds (conditions met: %v)\n",
+		fmt.Fprintf(w, "k=%d ℓ=%d pairs=%d NQ_k=%d → %d rounds (conditions met: %v)\n",
 			res.K, res.L, res.Pairs, res.NQ, res.Rounds, res.ConditionsMet)
 	case "sssp":
 		if _, err := net.SSSP(0, *eps); err != nil {
 			return err
 		}
-		fmt.Printf("(1+%.2f)-SSSP → %d rounds\n", *eps, net.Rounds())
+		fmt.Fprintf(w, "(1+%.2f)-SSSP → %d rounds\n", *eps, net.Rounds())
 	case "kssp":
 		sources := hybridnet.SampleNodes(nn, float64(kk)/float64(nn), rng)
 		_, res, err := net.KSSP(sources, *eps, true, rng)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k=%d regime=%q stretch=%.2f → %d rounds\n", len(sources), res.Regime, res.Stretch, res.Rounds)
+		fmt.Fprintf(w, "k=%d regime=%q stretch=%.2f → %d rounds\n", len(sources), res.Regime, res.Stretch, res.Rounds)
 	case "apsp-unweighted":
 		_, res, err := net.UnweightedAPSP(*eps, false)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NQ_n=%d stretch=%.2f → %d rounds\n", res.NQ, res.Stretch, res.Rounds)
+		fmt.Fprintf(w, "NQ_n=%d stretch=%.2f → %d rounds\n", res.NQ, res.Stretch, res.Rounds)
 	case "apsp-sparse":
 		_, res, err := net.SparseAPSP(false)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NQ=%d payload=%d edges → %d rounds (exact)\n", res.NQ, res.PayloadTokens, res.Rounds)
+		fmt.Fprintf(w, "NQ=%d payload=%d edges → %d rounds (exact)\n", res.NQ, res.PayloadTokens, res.Rounds)
 	case "apsp-spanner":
 		_, res, err := net.SpannerAPSP(*eps, false)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NQ=%d stretch=%.2f payload=%d → %d rounds\n", res.NQ, res.Stretch, res.PayloadTokens, res.Rounds)
+		fmt.Fprintf(w, "NQ=%d stretch=%.2f payload=%d → %d rounds\n", res.NQ, res.Stretch, res.PayloadTokens, res.Rounds)
 	case "apsp-skeleton":
 		_, res, err := net.SkeletonAPSP(1, rng, false)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NQ=%d stretch=%.2f payload=%d → %d rounds\n", res.NQ, res.Stretch, res.PayloadTokens, res.Rounds)
+		fmt.Fprintf(w, "NQ=%d stretch=%.2f payload=%d → %d rounds\n", res.NQ, res.Stretch, res.PayloadTokens, res.Rounds)
 	case "klsp":
 		sources := make([]int, min(kk, nn))
 		for i := range sources {
@@ -145,17 +153,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("k=%d ℓ=%d NQ_k=%d stretch=%.2f → %d rounds\n", len(sources), len(targets), res.NQ, res.Stretch, res.Rounds)
+		fmt.Fprintf(w, "k=%d ℓ=%d NQ_k=%d stretch=%.2f → %d rounds\n", len(sources), len(targets), res.NQ, res.Stretch, res.Rounds)
 	case "cuts":
 		_, res, err := net.ApproxCuts(*eps, rng)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("sparsifier=%d edges NQ=%d → %d rounds\n", res.SparsifierEdges, res.NQ, res.Rounds)
+		fmt.Fprintf(w, "sparsifier=%d edges NQ=%d → %d rounds\n", res.SparsifierEdges, res.NQ, res.Rounds)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	fmt.Println("\nround audit:")
-	fmt.Print(net.Audit())
+	fmt.Fprintln(w, "\nround audit:")
+	fmt.Fprint(w, net.Audit())
 	return nil
 }

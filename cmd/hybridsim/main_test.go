@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDisseminate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "disseminate", "-family", "path", "-n", "64", "-k", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# disseminate on path", "rounds", "round audit:", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, algo := range []string{"aggregate", "route", "bcc", "sssp", "kssp",
+		"apsp-unweighted", "apsp-sparse", "apsp-spanner", "apsp-skeleton", "klsp", "cuts"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-algo", algo, "-family", "grid2d", "-n", "49", "-k", "8"}, &buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(buf.String(), "rounds") {
+			t.Fatalf("%s: no round report:\n%s", algo, buf.String())
+		}
+	}
+}
+
+func TestRunHybrid0Variant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "disseminate", "-family", "cycle", "-n", "32", "-hybrid0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "nosuch", "-n", "16"}, &buf); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

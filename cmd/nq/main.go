@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,17 +25,23 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nq:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	n := flag.Int("n", 1024, "approximate number of nodes")
-	ks := flag.String("k", "16,64,256,1024", "comma-separated workloads k")
-	family := flag.String("family", "", "single family (default: Theorem 15/16 sweep)")
-	flag.Parse()
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("nq", flag.ContinueOnError)
+	n := fs.Int("n", 1024, "approximate number of nodes")
+	ks := fs.String("k", "16,64,256,1024", "comma-separated workloads k")
+	family := fs.String("family", "", "single family (default: Theorem 15/16 sweep)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	kList, err := parseInts(*ks)
 	if err != nil {
@@ -44,25 +52,25 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("# NQ_k scaling (Theorems 15/16): NQ_k = Θ(k^{1/(d+1)}) on d-dimensional grids")
-		fmt.Print(experiments.FormatNQScaling(rows))
+		fmt.Fprintln(w, "# NQ_k scaling (Theorems 15/16): NQ_k = Θ(k^{1/(d+1)}) on d-dimensional grids")
+		fmt.Fprint(w, experiments.FormatNQScaling(rows))
 		return nil
 	}
 	g, err := graph.Build(graph.Family(*family), *n, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# %s: n=%d m=%d D=%d\n", *family, g.N(), g.M(), g.Diameter())
+	fmt.Fprintf(w, "# %s: n=%d m=%d D=%d\n", *family, g.N(), g.M(), g.Diameter())
 	for _, k := range kList {
 		q, err := nq.Of(g, k)
 		if err != nil {
 			return err
 		}
-		w, qv, err := nq.Witness(g, k)
+		witness, qv, err := nq.Witness(g, k)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NQ_%-6d = %4d   (witness node %d with NQ_k(v)=%d)\n", k, q, w, qv)
+		fmt.Fprintf(w, "NQ_%-6d = %4d   (witness node %d with NQ_k(v)=%d)\n", k, q, witness, qv)
 	}
 	return nil
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "64", "-k", "16,64"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NQ_k scaling") || !strings.Contains(out, "grid3d") {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+}
+
+func TestRunSingleFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "64", "-k", "16", "-family", "path"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "witness node") {
+		t.Fatalf("family output:\n%s", buf.String())
+	}
+}
+
+func TestRunBadK(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "16,oops"}, &buf); err == nil {
+		t.Fatal("bad k list accepted")
+	}
+}

@@ -1,6 +1,6 @@
 // Package experiments is the benchmark harness that regenerates every
 // table and figure of the paper's results section on concrete graph
-// families (see DESIGN.md §4 for the experiment index):
+// families:
 //
 //   - Table 1  — information dissemination (Theorems 1–4 vs [AHK+20]/[KS20]),
 //   - Table 2  — APSP (Theorems 6–9, Corollary 2.2 vs eΘ(√n) prior work),
@@ -12,34 +12,33 @@
 // Every row pairs the measured round count of a universal algorithm run
 // in the simulator with the evaluated prior-work formulas and the
 // Section 7 lower bounds on the same instance.
+//
+// Each artifact is declared as a runner.Scenario (TableNScenario,
+// Figure1Scenario, …) — a family × n × seed × parameter grid plus a
+// per-cell measurement — and swept concurrently by internal/runner with
+// deterministic per-cell seeding, so the regenerated tables are
+// byte-identical at any worker count. WriteReport drives the registered
+// scenarios into a markdown, CSV, or JSONL sink.
 package experiments
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
 	"repro/internal/hybrid"
+	"repro/internal/runner"
 )
 
 // DefaultFamilies are the graph families every table sweeps by default:
-// the path (where NQ_k = Θ(√k) and universal ties existential), grids
-// (polynomial separation), and the ring of cliques (dense neighborhoods).
+// all eleven built-in families, from the path (where NQ_k = Θ(√k) and
+// universal ties existential) through grids and tori (polynomial
+// separation), cliquey topologies (ring of cliques, lollipop), trees,
+// and the small-diameter regime (hypercube, random, expander).
 func DefaultFamilies() []graph.Family {
-	return []graph.Family{
-		graph.FamilyPath,
-		graph.FamilyCycle,
-		graph.FamilyGrid2D,
-		graph.FamilyGrid3D,
-		graph.FamilyRingOfCliques,
-	}
-}
-
-func newNet(g *graph.Graph, seed int64) (*hybrid.Net, error) {
-	return hybrid.New(g, hybrid.Config{Variant: hybrid.VariantHybrid, Seed: seed})
+	return graph.Families()
 }
 
 func params(net *hybrid.Net, k, l int, eps float64) baseline.Params {
@@ -56,17 +55,7 @@ func params(net *hybrid.Net, k, l int, eps float64) baseline.Params {
 
 // RenderTable renders a markdown table.
 func RenderTable(header []string, rows [][]string) string {
-	var b strings.Builder
-	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
-	sep := make([]string, len(header))
-	for i := range sep {
-		sep[i] = "---"
-	}
-	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
-	for _, r := range rows {
-		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
-	}
-	return b.String()
+	return runner.Markdown(header, rows)
 }
 
 func f1(x float64) string {

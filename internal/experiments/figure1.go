@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
 	"repro/internal/lower"
+	"repro/internal/runner"
 	"repro/internal/sssp"
 )
 
@@ -16,6 +16,7 @@ import (
 // the measured round exponent δ (rounds = n^δ) on the vertical axis,
 // with the prior upper bound [CHLP21a] and the eΩ(√k) lower bound.
 type Figure1Point struct {
+	Family graph.Family
 	Beta   float64
 	K      int
 	Rounds int // measured Theorem 14 rounds
@@ -31,64 +32,93 @@ type Figure1Point struct {
 	DeltaLB    float64 // log_n of the lower bound
 }
 
-// Figure1 regenerates Figure 1 on one family at size ~n: for each β it
+// Figure1Scenario declares the Figure 1 sweep: per (family, β) cell it
 // samples k = n^β random sources and measures the Theorem 14 k-SSP.
+// Sweeping several families through one scenario lets all their cells
+// share the worker pool.
+func Figure1Scenario(families []graph.Family, n int, betas []float64, eps float64, seed int64) *runner.Scenario[Figure1Point] {
+	return &runner.Scenario[Figure1Point]{
+		Name:     "figure1",
+		Families: families,
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Points:   runner.PointsBeta(betas),
+		Run: func(c *runner.Cell) ([]Figure1Point, error) {
+			g, err := c.BuildGraph()
+			if err != nil {
+				return nil, err
+			}
+			pt, err := figure1Point(c, g, eps)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 beta=%v: %w", c.Point.Beta, err)
+			}
+			return []Figure1Point{*pt}, nil
+		},
+	}
+}
+
+// Figure1 regenerates Figure 1 on one family on the default parallel
+// runner.
 func Figure1(fam graph.Family, n int, betas []float64, eps float64, seed int64) ([]Figure1Point, error) {
-	rng := rand.New(rand.NewSource(seed))
-	g, err := graph.Build(fam, n, rng)
+	return runner.Collect(runner.Parallel(), Figure1Scenario([]graph.Family{fam}, n, betas, eps, seed))
+}
+
+func figure1Point(c *runner.Cell, g *graph.Graph, eps float64) (*Figure1Point, error) {
+	nn := g.N()
+	beta := c.Point.Beta
+	rng := c.Rng()
+	k := int(math.Round(math.Pow(float64(nn), beta)))
+	if k < 1 {
+		k = 1
+	}
+	if k > nn {
+		k = nn
+	}
+	net, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
-	nn := g.N()
-	var points []Figure1Point
-	for _, beta := range betas {
-		k := int(math.Round(math.Pow(float64(nn), beta)))
-		if k < 1 {
-			k = 1
-		}
-		if k > nn {
-			k = nn
-		}
-		net, err := newNet(g, rng.Int63())
-		if err != nil {
-			return nil, err
-		}
-		sources := sampleNodes(nn, float64(k)/float64(nn), rng)
-		_, res, err := sssp.KSSP(net, sources, eps, true, rng)
-		if err != nil {
-			return nil, fmt.Errorf("figure1 beta=%v: %w", beta, err)
-		}
-		p := params(net, k, 1, eps)
-		lnN := math.Log(float64(nn))
-		pt := Figure1Point{
-			Beta:       beta,
-			K:          k,
-			Rounds:     res.Rounds,
-			Regime:     res.Regime.String(),
-			Stretch:    res.Stretch,
-			CHLP21:     baseline.CHLP21KSSP().Rounds(p),
-			LowerSqrtK: lower.ExistentialSqrtK(k, net.Cap()),
-		}
-		plog2 := float64(net.PLog() * net.PLog())
-		if norm := float64(res.Rounds) / plog2; norm > 1 {
-			pt.Delta = math.Log(norm) / lnN
-		}
-		if pt.LowerSqrtK > 1 {
-			pt.DeltaLB = math.Log(pt.LowerSqrtK) / lnN
-		}
-		points = append(points, pt)
+	sources := sampleNodes(nn, float64(k)/float64(nn), rng)
+	_, res, err := sssp.KSSP(net, sources, eps, true, rng)
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	p := params(net, k, 1, eps)
+	lnN := math.Log(float64(nn))
+	pt := &Figure1Point{
+		Family:     c.Family,
+		Beta:       beta,
+		K:          k,
+		Rounds:     res.Rounds,
+		Regime:     res.Regime.String(),
+		Stretch:    res.Stretch,
+		CHLP21:     baseline.CHLP21KSSP().Rounds(p),
+		LowerSqrtK: lower.ExistentialSqrtK(k, net.Cap()),
+	}
+	plog2 := float64(net.PLog() * net.PLog())
+	if norm := float64(res.Rounds) / plog2; norm > 1 {
+		pt.Delta = math.Log(norm) / lnN
+	}
+	if pt.LowerSqrtK > 1 {
+		pt.DeltaLB = math.Log(pt.LowerSqrtK) / lnN
+	}
+	return pt, nil
 }
 
-// FormatFigure1 renders the landscape as a markdown table plus an ASCII
-// sketch of δ versus β (the paper's Figure 1 axes).
-func FormatFigure1(points []Figure1Point) string {
-	header := []string{"β (k=n^β)", "k", "Thm14 rounds", "δ = log_n(rounds/eÕ(1))",
-		"regime", "stretch", "CHLP21 eÕ(n^{1/3}+√k)", "eΩ(√(k/γ))", "δ_LB"}
-	var cells [][]string
+// Figure1Data renders the landscape into the sink-neutral table form;
+// the Note carries the markdown-only ASCII sketch of δ versus β.
+func Figure1Data(fam graph.Family, points []Figure1Point) *runner.Table {
+	t := &runner.Table{
+		Name:  "figure1/" + string(fam),
+		Title: fmt.Sprintf("Figure 1 — k-SSP complexity landscape on %s (Theorem 14)", fam),
+		Header: []string{"β (k=n^β)", "k", "Thm14 rounds", "δ = log_n(rounds/eÕ(1))",
+			"regime", "stretch", "CHLP21 eÕ(n^{1/3}+√k)", "eΩ(√(k/γ))", "δ_LB"},
+		Keys: []string{"beta", "k", "rounds", "delta",
+			"regime", "stretch", "chlp21_rounds", "sqrtk_lb", "delta_lb"},
+		Note: asciiLandscape(points),
+	}
 	for _, p := range points {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f", p.Beta),
 			fmt.Sprintf("%d", p.K),
 			fmt.Sprintf("%d", p.Rounds),
@@ -100,9 +130,14 @@ func FormatFigure1(points []Figure1Point) string {
 			fmt.Sprintf("%.3f", p.DeltaLB),
 		})
 	}
-	out := RenderTable(header, cells)
-	out += "\n" + asciiLandscape(points)
-	return out
+	return t
+}
+
+// FormatFigure1 renders the landscape as a markdown table plus an ASCII
+// sketch of δ versus β (the paper's Figure 1 axes).
+func FormatFigure1(points []Figure1Point) string {
+	t := Figure1Data("", points)
+	return runner.Markdown(t.Header, t.Rows) + "\n" + t.Note
 }
 
 // asciiLandscape sketches δ (vertical) against β (horizontal): '*' marks

@@ -6,7 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
-	"repro/internal/hybrid"
+	"repro/internal/runner"
 	"repro/internal/sssp"
 	"repro/internal/unicast"
 )
@@ -24,43 +24,63 @@ type GammaRow struct {
 	Stretch   float64
 }
 
-// GammaScaling sweeps the global capacity for a fixed k-SSP instance on
-// the family (random sources, parameter eps).
-func GammaScaling(fam graph.Family, n, k int, capFactors []int, eps float64, seed int64) ([]GammaRow, error) {
-	rng := rand.New(rand.NewSource(seed))
-	g, err := graph.Build(fam, n, rng)
-	if err != nil {
-		return nil, err
+// GammaScalingScenario declares the capacity sweep for a fixed k-SSP
+// instance on the family: every cell measures the same graph and the
+// same source set (both derived independently of the capacity point),
+// varying only γ.
+func GammaScalingScenario(fam graph.Family, n, k int, capFactors []int, eps float64, seed int64) *runner.Scenario[GammaRow] {
+	return &runner.Scenario[GammaRow]{
+		Name:     "gamma",
+		Families: []graph.Family{fam},
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Points:   runner.PointsCap(capFactors),
+		Run: func(c *runner.Cell) ([]GammaRow, error) {
+			g, err := c.BuildGraph()
+			if err != nil {
+				return nil, err
+			}
+			// The workload rng is point-independent so every capacity
+			// point routes the identical source set.
+			wrng := rand.New(rand.NewSource(c.DeriveSeed("sources")))
+			sources := unicast.SampleNodes(g.N(), float64(k)/float64(g.N()), wrng)
+			net, err := c.NewNet(g, c.DeriveSeed("net"))
+			if err != nil {
+				return nil, err
+			}
+			_, res, err := sssp.KSSP(net, sources, eps, true, wrng)
+			if err != nil {
+				return nil, fmt.Errorf("gamma scaling cf=%d: %w", c.Point.CapFactor, err)
+			}
+			return []GammaRow{{
+				CapFactor: c.Point.CapFactor,
+				Gamma:     net.Cap(),
+				K:         k,
+				Rounds:    res.Rounds,
+				Regime:    res.Regime.String(),
+				Stretch:   res.Stretch,
+			}}, nil
+		},
 	}
-	var rows []GammaRow
-	for _, cf := range capFactors {
-		net, err := hybrid.New(g, hybrid.Config{CapFactor: cf, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		sources := unicast.SampleNodes(g.N(), float64(k)/float64(g.N()), rng)
-		_, res, err := sssp.KSSP(net, sources, eps, true, rng)
-		if err != nil {
-			return nil, fmt.Errorf("gamma scaling cf=%d: %w", cf, err)
-		}
-		rows = append(rows, GammaRow{
-			CapFactor: cf,
-			Gamma:     net.Cap(),
-			K:         k,
-			Rounds:    res.Rounds,
-			Regime:    res.Regime.String(),
-			Stretch:   res.Stretch,
-		})
-	}
-	return rows, nil
 }
 
-// FormatGammaScaling renders rows as markdown.
-func FormatGammaScaling(rows []GammaRow) string {
-	header := []string{"γ factor", "γ", "k", "Thm14 rounds", "regime", "stretch"}
-	var cells [][]string
+// GammaScaling sweeps the global capacity for a fixed k-SSP instance on
+// the family (random sources, parameter eps) on the default parallel
+// runner.
+func GammaScaling(fam graph.Family, n, k int, capFactors []int, eps float64, seed int64) ([]GammaRow, error) {
+	return runner.Collect(runner.Parallel(), GammaScalingScenario(fam, n, k, capFactors, eps, seed))
+}
+
+// GammaScalingData renders rows into the sink-neutral table form.
+func GammaScalingData(rows []GammaRow) *runner.Table {
+	t := &runner.Table{
+		Name:   "gamma",
+		Title:  "HYBRID(∞, γ) capacity sweep (Theorem 14)",
+		Header: []string{"γ factor", "γ", "k", "Thm14 rounds", "regime", "stretch"},
+		Keys:   []string{"cap_factor", "gamma", "k", "rounds", "regime", "stretch"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d×", r.CapFactor),
 			fmt.Sprintf("%d", r.Gamma),
 			fmt.Sprintf("%d", r.K),
@@ -69,7 +89,13 @@ func FormatGammaScaling(rows []GammaRow) string {
 			fmt.Sprintf("%.2f", r.Stretch),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatGammaScaling renders rows as markdown.
+func FormatGammaScaling(rows []GammaRow) string {
+	t := GammaScalingData(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }
 
 // GammaScalingCSV writes the sweep as CSV.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/nq"
+	"repro/internal/runner"
 )
 
 // NQScalingRow is one point of the Theorem 15/16 analysis: the measured
@@ -21,54 +22,82 @@ type NQScalingRow struct {
 	Diameter  int64
 }
 
-// NQScaling regenerates the Theorem 15/16 tables: NQ_k on paths, cycles
-// and d-dimensional grids across a sweep of k.
-func NQScaling(n int, ks []int) ([]NQScalingRow, error) {
-	type fam struct {
-		name string
-		g    *graph.Graph
-		d    float64
+// nqDimension maps the Theorem 15/16 families to their grid dimension d.
+var nqDimension = map[graph.Family]float64{
+	graph.FamilyPath:   1,
+	graph.FamilyCycle:  1,
+	graph.FamilyGrid2D: 2,
+	graph.FamilyGrid3D: 3,
+}
+
+// NQFamilies are the families the Theorem 15/16 predictions cover, in
+// display order.
+func NQFamilies() []graph.Family {
+	return []graph.Family{graph.FamilyPath, graph.FamilyCycle, graph.FamilyGrid2D, graph.FamilyGrid3D}
+}
+
+// NQScalingScenario declares the Theorem 15/16 sweep: NQ_k on the given
+// families across a grid of k. Families without a Θ(k^{1/(d+1)})
+// prediction (anything outside NQFamilies) are rejected; an empty list
+// selects all of NQFamilies. The computation is fully deterministic —
+// the seed axis is degenerate.
+func NQScalingScenario(families []graph.Family, n int, ks []int) *runner.Scenario[NQScalingRow] {
+	if len(families) == 0 {
+		families = NQFamilies()
 	}
-	side2 := int(math.Sqrt(float64(n)))
-	side3 := int(math.Cbrt(float64(n)))
-	fams := []fam{
-		{"path", graph.Path(n), 1},
-		{"cycle", graph.Cycle(n), 1},
-		{"grid2d", graph.Grid(side2, 2), 2},
-		{"grid3d", graph.Grid(side3, 3), 3},
-	}
-	var rows []NQScalingRow
-	for _, f := range fams {
-		diam := f.g.Diameter()
-		for _, k := range ks {
-			q, err := nq.Of(f.g, k)
+	return &runner.Scenario[NQScalingRow]{
+		Name:     "nqscaling",
+		Families: families,
+		Ns:       []int{n},
+		Points:   runner.PointsK(ks),
+		Run: func(c *runner.Cell) ([]NQScalingRow, error) {
+			g, err := c.BuildGraph()
 			if err != nil {
-				return nil, fmt.Errorf("nqscaling %s k=%d: %w", f.name, k, err)
+				return nil, err
 			}
-			pred := math.Pow(float64(k), 1/(f.d+1))
+			d, ok := nqDimension[c.Family]
+			if !ok {
+				return nil, fmt.Errorf("nqscaling: no Theorem 15/16 prediction for family %q (covered: %v)", c.Family, NQFamilies())
+			}
+			k := c.Point.K
+			q, err := nq.Of(g, k)
+			if err != nil {
+				return nil, fmt.Errorf("nqscaling %s k=%d: %w", c.Family, k, err)
+			}
+			diam := g.Diameter()
+			pred := math.Pow(float64(k), 1/(d+1))
 			if pred > float64(diam) {
 				pred = float64(diam)
 			}
-			rows = append(rows, NQScalingRow{
-				Family:    f.name,
-				N:         f.g.N(),
+			return []NQScalingRow{{
+				Family:    string(c.Family),
+				N:         g.N(),
 				K:         k,
 				NQ:        q,
 				Predicted: pred,
 				Ratio:     float64(q) / pred,
 				Diameter:  diam,
-			})
-		}
+			}}, nil
+		},
 	}
-	return rows, nil
 }
 
-// FormatNQScaling renders rows as markdown.
-func FormatNQScaling(rows []NQScalingRow) string {
-	header := []string{"family", "n", "D", "k", "NQ_k", "Θ(k^{1/(d+1)}) pred.", "ratio"}
-	var cells [][]string
+// NQScaling regenerates the Theorem 15/16 tables over all of
+// NQFamilies on the default parallel runner.
+func NQScaling(n int, ks []int) ([]NQScalingRow, error) {
+	return runner.Collect(runner.Parallel(), NQScalingScenario(nil, n, ks))
+}
+
+// NQScalingData renders rows into the sink-neutral table form.
+func NQScalingData(rows []NQScalingRow) *runner.Table {
+	t := &runner.Table{
+		Name:   "nqscaling",
+		Title:  "NQ_k scaling (Theorems 15/16)",
+		Header: []string{"family", "n", "D", "k", "NQ_k", "Θ(k^{1/(d+1)}) pred.", "ratio"},
+		Keys:   []string{"family", "n", "diameter", "k", "nq", "predicted", "ratio"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			r.Family,
 			fmt.Sprintf("%d", r.N),
 			fmt.Sprintf("%d", r.Diameter),
@@ -78,5 +107,11 @@ func FormatNQScaling(rows []NQScalingRow) string {
 			fmt.Sprintf("%.2f", r.Ratio),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatNQScaling renders rows as markdown.
+func FormatNQScaling(rows []NQScalingRow) string {
+	t := NQScalingData(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }

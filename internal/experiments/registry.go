@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"repro/internal/graph"
+	"repro/internal/runner"
+)
+
+// A generator sweeps one registered report artifact through the runner
+// and renders the resulting tables. Each table file contributes its
+// generator below, so the report is assembled declaratively from the
+// registry rather than from hand-rolled loops.
+type generator func(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error)
+
+// tableGenerators maps the numbered paper tables to their generators.
+var tableGenerators = map[int]generator{
+	1: genTable1,
+	2: genTable2,
+	3: genTable3,
+	4: genTable4,
+}
+
+func genNQ(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	// An explicit family restriction intersects with the families the
+	// Theorem 15/16 predictions cover.
+	fams := NQFamilies()
+	if len(cfg.Families) > 0 {
+		covered := make(map[graph.Family]bool)
+		for _, f := range fams {
+			covered[f] = true
+		}
+		fams = nil
+		for _, f := range cfg.Families {
+			if covered[f] {
+				fams = append(fams, f)
+			}
+		}
+		if len(fams) == 0 {
+			return []*runner.Table{NQScalingData(nil)}, nil
+		}
+	}
+	rows, err := runner.Collect(r, NQScalingScenario(fams, cfg.N, []int{16, 64, 256, 1024}))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{NQScalingData(rows)}, nil
+}
+
+func genTable1(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	rows, err := runner.Collect(r, Table1Scenario(cfg.families(), cfg.N, []int{cfg.N / 4, cfg.N, 4 * cfg.N}, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{Table1Data(rows)}, nil
+}
+
+func genTable2(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	rows, err := runner.Collect(r, Table2Scenario(cfg.families(), cfg.N, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{Table2Data(rows)}, nil
+}
+
+func genTable3(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	rows, err := runner.Collect(r, Table3Scenario(cfg.families(), cfg.N, []int{cfg.N / 8, cfg.N / 2}, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{Table3Data(rows)}, nil
+}
+
+func genTable4(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	rows, err := runner.Collect(r, Table4Scenario(cfg.families(), cfg.N, []float64{0.5, 0.25, 0.1}, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{Table4Data(rows)}, nil
+}
+
+func genFigure1(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	betas := []float64{0, 1.0 / 6, 1.0 / 3, 0.5, 2.0 / 3, 5.0 / 6, 1}
+	// Figure 1 contrasts the worst-case path with the grid by default;
+	// an explicit family restriction replaces that pair.
+	fams := []graph.Family{graph.FamilyPath, graph.FamilyGrid2D}
+	if len(cfg.Families) > 0 {
+		fams = cfg.Families
+	}
+	// One scenario over all families, so every cell shares the pool;
+	// the canonical order keeps each family's points contiguous.
+	pts, err := runner.Collect(r, Figure1Scenario(fams, cfg.N, betas, 0.5, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var tables []*runner.Table
+	for _, fam := range fams {
+		var famPts []Figure1Point
+		for _, p := range pts {
+			if p.Family == fam {
+				famPts = append(famPts, p)
+			}
+		}
+		tables = append(tables, Figure1Data(fam, famPts))
+	}
+	return tables, nil
+}

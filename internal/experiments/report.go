@@ -5,9 +5,10 @@ import (
 	"io"
 
 	"repro/internal/graph"
+	"repro/internal/runner"
 )
 
-// ReportConfig selects what WriteReport regenerates.
+// ReportConfig selects what WriteReport regenerates and how.
 type ReportConfig struct {
 	// N is the approximate instance size (default 576).
 	N int
@@ -18,6 +19,17 @@ type ReportConfig struct {
 	Tables  []int
 	Figure1 bool
 	NQ      bool
+	// Families restricts the family axis (nil = DefaultFamilies, i.e.
+	// all eleven built-in families). Figure 1 replaces its default
+	// path/grid2d pair with this list; the NQ-scaling section uses the
+	// intersection with NQFamilies, since only those carry a
+	// Theorem 15/16 prediction.
+	Families []graph.Family
+	// Workers is the sweep worker-pool size (≤ 0 = GOMAXPROCS). Output
+	// is byte-identical at any worker count.
+	Workers int
+	// Format selects the sink: "md" (default), "csv", or "jsonl".
+	Format string
 }
 
 func (c *ReportConfig) defaults() {
@@ -32,58 +44,66 @@ func (c *ReportConfig) defaults() {
 		c.Figure1 = true
 		c.NQ = true
 	}
+	if c.Format == "" {
+		c.Format = "md"
+	}
 }
 
-// WriteReport regenerates the selected artifacts as markdown on w —
-// the programmatic form of `cmd/experiments`.
+func (c *ReportConfig) families() []graph.Family {
+	if len(c.Families) > 0 {
+		return c.Families
+	}
+	return DefaultFamilies()
+}
+
+// NewSink builds the result sink for the configured format.
+func (c *ReportConfig) NewSink(w io.Writer) (runner.Sink, error) {
+	switch c.Format {
+	case "", "md":
+		return &runner.MarkdownSink{W: w}, nil
+	case "csv":
+		return runner.NewCSVSink(w), nil
+	case "jsonl":
+		return runner.NewJSONLSink(w), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown format %q (want md, csv or jsonl)", c.Format)
+	}
+}
+
+// WriteReport regenerates the selected artifacts on w — the
+// programmatic form of `cmd/experiments`. Each selected section's
+// registered scenario is swept on a Workers-sized pool and streamed
+// into the configured sink.
 func WriteReport(w io.Writer, cfg ReportConfig) error {
 	cfg.defaults()
-	fams := DefaultFamilies()
+	sink, err := cfg.NewSink(w)
+	if err != nil {
+		return err
+	}
+	run := &runner.Runner{Workers: cfg.Workers}
+	var gens []generator
 	if cfg.NQ {
-		rows, err := NQScaling(cfg.N, []int{16, 64, 256, 1024})
+		gens = append(gens, genNQ)
+	}
+	for _, tbl := range cfg.Tables {
+		gen, ok := tableGenerators[tbl]
+		if !ok {
+			return fmt.Errorf("experiments: unknown table %d", tbl)
+		}
+		gens = append(gens, gen)
+	}
+	if cfg.Figure1 {
+		gens = append(gens, genFigure1)
+	}
+	for _, gen := range gens {
+		tables, err := gen(cfg, run)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "## NQ_k scaling (Theorems 15/16)\n\n%s\n", FormatNQScaling(rows))
-	}
-	for _, tbl := range cfg.Tables {
-		switch tbl {
-		case 1:
-			rows, err := Table1(fams, cfg.N, []int{cfg.N / 4, cfg.N, 4 * cfg.N}, cfg.Seed)
-			if err != nil {
+		for _, t := range tables {
+			if err := runner.WriteTable(sink, t); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "## Table 1 — information dissemination (Theorems 1-4)\n\n%s\n", FormatTable1(rows))
-		case 2:
-			rows, err := Table2(fams, cfg.N, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "## Table 2 — APSP (Theorems 6-9, Corollary 2.2)\n\n%s\n", FormatTable2(rows))
-		case 3:
-			rows, err := Table3(fams, cfg.N, []int{cfg.N / 8, cfg.N / 2}, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "## Table 3 — (k,ℓ)-shortest paths (Theorem 5)\n\n%s\n", FormatTable3(rows))
-		case 4:
-			rows, err := Table4(fams, cfg.N, []float64{0.5, 0.25, 0.1}, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "## Table 4 — SSSP (Theorem 13)\n\n%s\n", FormatTable4(rows))
-		default:
-			return fmt.Errorf("experiments: unknown table %d", tbl)
-		}
-	}
-	if cfg.Figure1 {
-		betas := []float64{0, 1.0 / 6, 1.0 / 3, 0.5, 2.0 / 3, 5.0 / 6, 1}
-		for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid2D} {
-			pts, err := Figure1(fam, cfg.N, betas, 0.5, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "## Figure 1 — k-SSP complexity landscape on %s (Theorem 14)\n\n%s\n", fam, FormatFigure1(pts))
 		}
 	}
 	return nil

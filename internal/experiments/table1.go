@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/broadcast"
 	"repro/internal/graph"
 	"repro/internal/lower"
+	"repro/internal/runner"
 	"repro/internal/unicast"
 )
 
@@ -33,35 +33,43 @@ type Table1Row struct {
 	LowerBound float64
 }
 
-// Table1 regenerates Table 1: for each family at size ~n and each k it
+// Table1Scenario declares the Table 1 sweep: per (family, k) cell it
 // runs k-dissemination, k-aggregation and (k,ℓ)-routing with ℓ ≈ NQ_k
 // random targets, and evaluates the baselines and the lower bound.
-func Table1(families []graph.Family, n int, ks []int, seed int64) ([]Table1Row, error) {
-	var rows []Table1Row
-	rng := rand.New(rand.NewSource(seed))
-	for _, fam := range families {
-		g, err := graph.Build(fam, n, rng)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range ks {
-			row, err := table1Row(fam, g, k, rng)
+func Table1Scenario(families []graph.Family, n int, ks []int, seed int64) *runner.Scenario[Table1Row] {
+	return &runner.Scenario[Table1Row]{
+		Name:     "table1",
+		Families: families,
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Points:   runner.PointsK(ks),
+		Run: func(c *runner.Cell) ([]Table1Row, error) {
+			g, err := c.BuildGraph()
 			if err != nil {
-				return nil, fmt.Errorf("table1 %s k=%d: %w", fam, k, err)
+				return nil, err
 			}
-			rows = append(rows, *row)
-		}
+			row, err := table1Row(c, g)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s k=%d: %w", c.Family, c.Point.K, err)
+			}
+			return []Table1Row{*row}, nil
+		},
 	}
-	return rows, nil
 }
 
-func table1Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table1Row, error) {
-	n := g.N()
-	row := &Table1Row{Family: string(fam), N: n, K: k}
+// Table1 regenerates Table 1 on the default parallel runner.
+func Table1(families []graph.Family, n int, ks []int, seed int64) ([]Table1Row, error) {
+	return runner.Collect(runner.Parallel(), Table1Scenario(families, n, ks, seed))
+}
+
+func table1Row(c *runner.Cell, g *graph.Graph) (*Table1Row, error) {
+	n, k := g.N(), c.Point.K
+	rng := c.Rng()
+	row := &Table1Row{Family: string(c.Family), N: n, K: k}
 
 	// Theorem 1: k-dissemination with adversarial placement (all tokens
 	// at node 0 — Theorem 1 is distribution-independent).
-	net, err := newNet(g, rng.Int63())
+	net, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +90,7 @@ func table1Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table1
 	}
 
 	// Theorem 2: k-aggregation (cost-only run).
-	net2, err := newNet(g, rng.Int63())
+	net2, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +113,7 @@ func table1Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table1
 	if kSrc > n {
 		kSrc = n
 	}
-	net3, err := newNet(g, rng.Int63())
+	net3, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +136,7 @@ func table1Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table1
 	row.AHKRounds = baseline.AHKDissemination().Rounds(p)
 	row.KS20Unicast = baseline.KS20Unicast().Rounds(p)
 	row.LocalFlood = p.Diam
-	netN, err := newNet(g, rng.Int63())
+	netN, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -143,14 +151,19 @@ func table1Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table1
 	return row, nil
 }
 
-// FormatTable1 renders rows as markdown.
-func FormatTable1(rows []Table1Row) string {
-	header := []string{"family", "n", "k", "NQ_k",
-		"Thm1 (rounds)", "Thm2 (rounds)", "Thm3 (rounds, ℓ)",
-		"AHK+20 eÕ(√k+ℓ)", "KS20 unicast", "NCC naive", "LOCAL D", "Thm4 LB"}
-	var cells [][]string
+// Table1Data renders rows into the sink-neutral table form.
+func Table1Data(rows []Table1Row) *runner.Table {
+	t := &runner.Table{
+		Name:  "table1",
+		Title: "Table 1 — information dissemination (Theorems 1-4)",
+		Header: []string{"family", "n", "k", "NQ_k",
+			"Thm1 (rounds)", "Thm2 (rounds)", "Thm3 (rounds, ℓ)",
+			"AHK+20 eÕ(√k+ℓ)", "KS20 unicast", "NCC naive", "LOCAL D", "Thm4 LB"},
+		Keys: []string{"family", "n", "k", "nq", "thm1_rounds", "thm2_rounds",
+			"thm3_rounds_l", "ahk_rounds", "ks20_unicast", "ncc_naive", "local_d", "thm4_lb"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			r.Family,
 			fmt.Sprintf("%d", r.N),
 			fmt.Sprintf("%d", r.K),
@@ -165,5 +178,11 @@ func FormatTable1(rows []Table1Row) string {
 			f1(r.LowerBound),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatTable1 renders rows as markdown.
+func FormatTable1(rows []Table1Row) string {
+	t := Table1Data(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/apsp"
 	"repro/internal/baseline"
 	"repro/internal/cuts"
 	"repro/internal/graph"
 	"repro/internal/lower"
+	"repro/internal/runner"
 )
 
 // Table2Row compares the universal APSP algorithms (Theorems 6–9,
@@ -32,28 +32,38 @@ type Table2Row struct {
 	LowerBound float64
 }
 
-// Table2 regenerates Table 2 on each family at size ~n.
-func Table2(families []graph.Family, n int, seed int64) ([]Table2Row, error) {
-	var rows []Table2Row
-	rng := rand.New(rand.NewSource(seed))
-	for _, fam := range families {
-		g, err := graph.Build(fam, n, rng)
-		if err != nil {
-			return nil, err
-		}
-		row, err := table2Row(fam, g, rng)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", fam, err)
-		}
-		rows = append(rows, *row)
+// Table2Scenario declares the Table 2 sweep: per family cell it runs
+// the four universal APSP algorithms and the cut approximation.
+func Table2Scenario(families []graph.Family, n int, seed int64) *runner.Scenario[Table2Row] {
+	return &runner.Scenario[Table2Row]{
+		Name:     "table2",
+		Families: families,
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Run: func(c *runner.Cell) ([]Table2Row, error) {
+			g, err := c.BuildGraph()
+			if err != nil {
+				return nil, err
+			}
+			row, err := table2Row(c, g)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s: %w", c.Family, err)
+			}
+			return []Table2Row{*row}, nil
+		},
 	}
-	return rows, nil
 }
 
-func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, error) {
-	row := &Table2Row{Family: string(fam), N: g.N()}
+// Table2 regenerates Table 2 on the default parallel runner.
+func Table2(families []graph.Family, n int, seed int64) ([]Table2Row, error) {
+	return runner.Collect(runner.Parallel(), Table2Scenario(families, n, seed))
+}
 
-	net, err := newNet(g, rng.Int63())
+func table2Row(c *runner.Cell, g *graph.Graph) (*Table2Row, error) {
+	rng := c.Rng()
+	row := &Table2Row{Family: string(c.Family), N: g.N()}
+
+	net, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +74,7 @@ func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, er
 	row.UnweightedRounds = ures.Rounds
 	row.NQ = ures.NQ
 
-	net2, err := newNet(g, rng.Int63())
+	net2, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +84,7 @@ func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, er
 	}
 	row.SparseExactRounds = sres.Rounds
 
-	net3, err := newNet(g, rng.Int63())
+	net3, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +95,7 @@ func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, er
 	row.SpannerRounds = pres.Rounds
 	row.SpannerStretch = pres.Stretch
 
-	net4, err := newNet(g, rng.Int63())
+	net4, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +105,7 @@ func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, er
 	}
 	row.SkeletonRounds = kres.Rounds
 
-	net5, err := newNet(g, rng.Int63())
+	net5, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -118,14 +128,20 @@ func table2Row(fam graph.Family, g *graph.Graph, rng *rand.Rand) (*Table2Row, er
 	return row, nil
 }
 
-// FormatTable2 renders rows as markdown.
-func FormatTable2(rows []Table2Row) string {
-	header := []string{"family", "n", "NQ_n",
-		"Thm6 1+ε", "Cor2.2 exact", "Cor2.3 spanner (stretch)", "Thm8 4α-1", "Thm9 cuts",
-		"KS20 eÕ(√n)", "AG21 eÕ(√n)", "LOCAL D", "Thm11 LB"}
-	var cells [][]string
+// Table2Data renders rows into the sink-neutral table form.
+func Table2Data(rows []Table2Row) *runner.Table {
+	t := &runner.Table{
+		Name:  "table2",
+		Title: "Table 2 — APSP (Theorems 6-9, Corollary 2.2)",
+		Header: []string{"family", "n", "NQ_n",
+			"Thm6 1+ε", "Cor2.2 exact", "Cor2.3 spanner (stretch)", "Thm8 4α-1", "Thm9 cuts",
+			"KS20 eÕ(√n)", "AG21 eÕ(√n)", "LOCAL D", "Thm11 LB"},
+		Keys: []string{"family", "n", "nq", "thm6_rounds", "cor22_rounds",
+			"cor23_rounds_stretch", "thm8_rounds", "thm9_rounds",
+			"ks20_rounds", "ag21_rounds", "local_d", "thm11_lb"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			r.Family,
 			fmt.Sprintf("%d", r.N),
 			fmt.Sprintf("%d", r.NQ),
@@ -140,5 +156,11 @@ func FormatTable2(rows []Table2Row) string {
 			f1(r.LowerBound),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatTable2 renders rows as markdown.
+func FormatTable2(rows []Table2Row) string {
+	t := Table2Data(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }

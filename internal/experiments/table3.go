@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/apsp"
 	"repro/internal/graph"
 	"repro/internal/lower"
+	"repro/internal/runner"
 )
 
 // Table3Row compares the universal (k,ℓ)-SP algorithm (Theorem 5) with
@@ -26,33 +26,43 @@ type Table3Row struct {
 	LocalFlood     int64
 }
 
-// Table3 regenerates Table 3 on each family at size ~n for each k.
-func Table3(families []graph.Family, n int, ks []int, seed int64) ([]Table3Row, error) {
-	var rows []Table3Row
-	rng := rand.New(rand.NewSource(seed))
-	for _, fam := range families {
-		g, err := graph.Build(fam, n, rng)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range ks {
-			if k > g.N() {
-				continue
-			}
-			row, err := table3Row(fam, g, k, rng)
+// Table3Scenario declares the Table 3 sweep: per (family, k) cell it
+// runs the Theorem 5 (k,ℓ)-SP with ℓ ≈ min(NQ_k, 4) random targets.
+// Cells whose k exceeds the realized instance size contribute no row.
+func Table3Scenario(families []graph.Family, n int, ks []int, seed int64) *runner.Scenario[Table3Row] {
+	return &runner.Scenario[Table3Row]{
+		Name:     "table3",
+		Families: families,
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Points:   runner.PointsK(ks),
+		Run: func(c *runner.Cell) ([]Table3Row, error) {
+			g, err := c.BuildGraph()
 			if err != nil {
-				return nil, fmt.Errorf("table3 %s k=%d: %w", fam, k, err)
+				return nil, err
 			}
-			rows = append(rows, *row)
-		}
+			if c.Point.K > g.N() {
+				return nil, nil
+			}
+			row, err := table3Row(c, g)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s k=%d: %w", c.Family, c.Point.K, err)
+			}
+			return []Table3Row{*row}, nil
+		},
 	}
-	return rows, nil
 }
 
-func table3Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table3Row, error) {
-	n := g.N()
-	row := &Table3Row{Family: string(fam), N: n, K: k}
-	net, err := newNet(g, rng.Int63())
+// Table3 regenerates Table 3 on the default parallel runner.
+func Table3(families []graph.Family, n int, ks []int, seed int64) ([]Table3Row, error) {
+	return runner.Collect(runner.Parallel(), Table3Scenario(families, n, ks, seed))
+}
+
+func table3Row(c *runner.Cell, g *graph.Graph) (*Table3Row, error) {
+	n, k := g.N(), c.Point.K
+	rng := c.Rng()
+	row := &Table3Row{Family: string(c.Family), N: n, K: k}
+	net, err := c.NewNet(g, rng.Int63())
 	if err != nil {
 		return nil, err
 	}
@@ -83,13 +93,18 @@ func table3Row(fam graph.Family, g *graph.Graph, k int, rng *rand.Rand) (*Table3
 	return row, nil
 }
 
-// FormatTable3 renders rows as markdown.
-func FormatTable3(rows []Table3Row) string {
-	header := []string{"family", "n", "k", "ℓ", "NQ_k",
-		"Thm5 (rounds)", "stretch", "eΩ(√(k/γ)) exist.", "Thm11 LB", "LOCAL D"}
-	var cells [][]string
+// Table3Data renders rows into the sink-neutral table form.
+func Table3Data(rows []Table3Row) *runner.Table {
+	t := &runner.Table{
+		Name:  "table3",
+		Title: "Table 3 — (k,ℓ)-shortest paths (Theorem 5)",
+		Header: []string{"family", "n", "k", "ℓ", "NQ_k",
+			"Thm5 (rounds)", "stretch", "eΩ(√(k/γ)) exist.", "Thm11 LB", "LOCAL D"},
+		Keys: []string{"family", "n", "k", "l", "nq",
+			"thm5_rounds", "stretch", "sqrtk_lb", "thm11_lb", "local_d"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			r.Family,
 			fmt.Sprintf("%d", r.N),
 			fmt.Sprintf("%d", r.K),
@@ -102,5 +117,11 @@ func FormatTable3(rows []Table3Row) string {
 			fmt.Sprintf("%d", r.LocalFlood),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatTable3 renders rows as markdown.
+func FormatTable3(rows []Table3Row) string {
+	t := Table3Data(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/sssp"
 )
 
@@ -24,26 +24,31 @@ type Table4Row struct {
 	LocalFlood   int64
 }
 
-// Table4 regenerates Table 4 on each family at size ~n for each ε.
-func Table4(families []graph.Family, n int, epss []float64, seed int64) ([]Table4Row, error) {
-	var rows []Table4Row
-	rng := rand.New(rand.NewSource(seed))
-	for _, fam := range families {
-		g, err := graph.Build(fam, n, rng)
-		if err != nil {
-			return nil, err
-		}
-		for _, eps := range epss {
-			net, err := newNet(g, rng.Int63())
+// Table4Scenario declares the Table 4 sweep: per (family, ε) cell it
+// runs the Theorem 13 (1+ε)-SSSP from node 0.
+func Table4Scenario(families []graph.Family, n int, epss []float64, seed int64) *runner.Scenario[Table4Row] {
+	return &runner.Scenario[Table4Row]{
+		Name:     "table4",
+		Families: families,
+		Ns:       []int{n},
+		Seeds:    []int64{seed},
+		Points:   runner.PointsEps(epss),
+		Run: func(c *runner.Cell) ([]Table4Row, error) {
+			g, err := c.BuildGraph()
+			if err != nil {
+				return nil, err
+			}
+			eps := c.Point.Eps
+			net, err := c.NewNet(g, c.Rng().Int63())
 			if err != nil {
 				return nil, err
 			}
 			if _, err := sssp.Approx(net, 0, eps); err != nil {
-				return nil, fmt.Errorf("table4 %s eps=%v: %w", fam, eps, err)
+				return nil, fmt.Errorf("table4 %s eps=%v: %w", c.Family, eps, err)
 			}
 			p := params(net, 1, 1, eps)
-			rows = append(rows, Table4Row{
-				Family:       string(fam),
+			return []Table4Row{{
+				Family:       string(c.Family),
 				N:            g.N(),
 				Eps:          eps,
 				Thm13Rounds:  net.Rounds(),
@@ -51,19 +56,28 @@ func Table4(families []graph.Family, n int, epss []float64, seed int64) ([]Table
 				CHLP21Rounds: baseline.CHLP21SSSP().Rounds(p),
 				AHKRounds:    baseline.AHKSSSP().Rounds(p),
 				LocalFlood:   p.Diam,
-			})
-		}
+			}}, nil
+		},
 	}
-	return rows, nil
 }
 
-// FormatTable4 renders rows as markdown.
-func FormatTable4(rows []Table4Row) string {
-	header := []string{"family", "n", "ε",
-		"Thm13 eÕ(1/ε²)", "AG21 eÕ(√n)", "CHLP21 eÕ(n^{5/17})", "AHK+20 eÕ(n^ε)", "LOCAL D"}
-	var cells [][]string
+// Table4 regenerates Table 4 on the default parallel runner.
+func Table4(families []graph.Family, n int, epss []float64, seed int64) ([]Table4Row, error) {
+	return runner.Collect(runner.Parallel(), Table4Scenario(families, n, epss, seed))
+}
+
+// Table4Data renders rows into the sink-neutral table form.
+func Table4Data(rows []Table4Row) *runner.Table {
+	t := &runner.Table{
+		Name:  "table4",
+		Title: "Table 4 — SSSP (Theorem 13)",
+		Header: []string{"family", "n", "ε",
+			"Thm13 eÕ(1/ε²)", "AG21 eÕ(√n)", "CHLP21 eÕ(n^{5/17})", "AHK+20 eÕ(n^ε)", "LOCAL D"},
+		Keys: []string{"family", "n", "eps", "thm13_rounds",
+			"ag21_rounds", "chlp21_rounds", "ahk_rounds", "local_d"},
+	}
 	for _, r := range rows {
-		cells = append(cells, []string{
+		t.Rows = append(t.Rows, []string{
 			r.Family,
 			fmt.Sprintf("%d", r.N),
 			fmt.Sprintf("%.2f", r.Eps),
@@ -74,5 +88,11 @@ func FormatTable4(rows []Table4Row) string {
 			fmt.Sprintf("%d", r.LocalFlood),
 		})
 	}
-	return RenderTable(header, cells)
+	return t
+}
+
+// FormatTable4 renders rows as markdown.
+func FormatTable4(rows []Table4Row) string {
+	t := Table4Data(rows)
+	return runner.Markdown(t.Header, t.Rows)
 }

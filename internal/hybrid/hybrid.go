@@ -22,8 +22,8 @@
 //
 // Every round consumed is recorded in an audit trail, with each entry
 // marked either Simulated (the engine scheduled real communication) or
-// Charged (the round cost of a cited black-box subroutine; see DESIGN.md
-// Section 2 for the list). Benchmarks report both totals.
+// Charged (the round cost of a cited black-box subroutine; DESIGN.md §2
+// explains the substitution rule). Benchmarks report both totals.
 package hybrid
 
 import (
@@ -101,7 +101,7 @@ const (
 	// Simulated rounds were scheduled message-by-message by the engine.
 	Simulated Kind = iota + 1
 	// Charged rounds are the published cost of a cited subroutine that is
-	// computed functionally (see DESIGN.md, "Charged subroutines").
+	// computed functionally (see DESIGN.md §2, "Charged subroutines").
 	Charged
 )
 

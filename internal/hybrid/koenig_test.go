@@ -1,0 +1,108 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSendGlobalKoenigBound is the König-bound invariant as a property
+// test: for random message multisets, SendGlobal must charge exactly
+// ⌈Δ/γ⌉ rounds where Δ = max over nodes of send/receive word load (the
+// optimal schedule length by König's edge-coloring theorem), and
+// LoadRounds must agree with SendGlobal on the same load vectors.
+func TestSendGlobalKoenigBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		cfg := Config{CapFactor: 1 + rng.Intn(3)}
+		if rng.Intn(4) == 0 {
+			cfg.GlobalWordCap = 1 + rng.Intn(20)
+		}
+		net, err := New(graph.Path(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := net.Cap()
+
+		// Random multiset: duplicate endpoints, self-sends, multi-word
+		// payloads and taught identifiers all allowed.
+		m := 1 + rng.Intn(150)
+		msgs := make([]Msg, m)
+		out := make([]int, n)
+		in := make([]int, n)
+		for i := range msgs {
+			msg := Msg{From: rng.Intn(n), To: rng.Intn(n)}
+			if rng.Intn(3) == 0 {
+				msg.Size = 1 + rng.Intn(4)
+			}
+			for j := rng.Intn(3); j > 0; j-- {
+				msg.TeachIDs = append(msg.TeachIDs, rng.Intn(n))
+			}
+			msgs[i] = msg
+			words := msg.Size
+			if words <= 0 {
+				words = 1
+			}
+			words += len(msg.TeachIDs)
+			out[msg.From] += words
+			in[msg.To] += words
+		}
+		maxLoad := 0
+		for v := 0; v < n; v++ {
+			if out[v] > maxLoad {
+				maxLoad = out[v]
+			}
+			if in[v] > maxLoad {
+				maxLoad = in[v]
+			}
+		}
+		want := (maxLoad + gamma - 1) / gamma
+
+		got, err := net.SendGlobal("koenig", msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: n=%d γ=%d m=%d: SendGlobal charged %d rounds, König optimum ⌈%d/%d⌉ = %d",
+				trial, n, gamma, m, got, maxLoad, gamma, want)
+		}
+		if total := net.Rounds(); total != got {
+			t.Fatalf("trial %d: audit total %d != charged %d", trial, total, got)
+		}
+
+		// LoadRounds on the same load vectors must agree exactly.
+		net2, err := New(graph.Path(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr := net2.LoadRounds("koenig-load", out, in); lr != got {
+			t.Fatalf("trial %d: LoadRounds %d != SendGlobal %d", trial, lr, got)
+		}
+	}
+}
+
+// TestSendGlobalKoenigEdgeCases pins the boundary behavior of the bound:
+// an empty multiset is free, a single word costs one round, and a load
+// of exactly c·γ words on one node costs exactly c rounds.
+func TestSendGlobalKoenigEdgeCases(t *testing.T) {
+	net, err := New(graph.Path(4), Config{GlobalWordCap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := net.SendGlobal("empty", nil); err != nil || r != 0 {
+		t.Fatalf("empty: r=%d err=%v", r, err)
+	}
+	if r, err := net.SendGlobal("one", []Msg{{From: 0, To: 2}}); err != nil || r != 1 {
+		t.Fatalf("one word: r=%d err=%v", r, err)
+	}
+	// 6 = 2γ words out of node 1 → exactly 2 rounds.
+	msgs := make([]Msg, 6)
+	for i := range msgs {
+		msgs[i] = Msg{From: 1, To: (i % 3) + 1}
+	}
+	if r, err := net.SendGlobal("full", msgs); err != nil || r != 2 {
+		t.Fatalf("2γ words: r=%d err=%v", r, err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package runner is the concurrent scenario-sweep engine behind the
+// experiment harness. A Scenario declares a sweep grid — graph family ×
+// instance size × base seed × extra parameter points, together with the
+// HYBRID model variant to instantiate and the measurement to run on each
+// cell — and a Runner fans the independent cells out over a fixed-size
+// worker pool.
+//
+// Determinism is the core contract: every random choice inside a cell is
+// seeded from the cell's own coordinates (scenario name, family, n, base
+// seed, point label) via DeriveSeed, never from execution order or a
+// shared rng. Collect therefore returns byte-identical results whether
+// the sweep runs on one worker or GOMAXPROCS workers, and a sweep can be
+// re-run cell-by-cell to reproduce any single row.
+package runner
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+// Point is one setting of a scenario's sweep axes beyond the
+// family × n × seed grid: the workload k, the target count ℓ, the
+// approximation parameter ε, the source exponent β (k = n^β), or the
+// global-capacity factor γ/⌈log n⌉. Label must identify the point
+// uniquely within its scenario — it feeds the per-cell seed derivation.
+type Point struct {
+	Label     string
+	K, L      int
+	Eps, Beta float64
+	CapFactor int
+}
+
+// PointK labels a workload-size point.
+func PointK(k int) Point { return Point{Label: fmt.Sprintf("k=%d", k), K: k} }
+
+// PointEps labels an approximation-parameter point.
+func PointEps(eps float64) Point { return Point{Label: fmt.Sprintf("eps=%g", eps), Eps: eps} }
+
+// PointBeta labels a source-exponent point (k = n^β).
+func PointBeta(beta float64) Point { return Point{Label: fmt.Sprintf("beta=%g", beta), Beta: beta} }
+
+// PointCap labels a global-capacity point (γ = CapFactor·⌈log₂ n⌉).
+func PointCap(cf int) Point { return Point{Label: fmt.Sprintf("cap=%d", cf), CapFactor: cf} }
+
+// PointsK maps a workload grid to labeled points.
+func PointsK(ks []int) []Point {
+	out := make([]Point, len(ks))
+	for i, k := range ks {
+		out[i] = PointK(k)
+	}
+	return out
+}
+
+// PointsEps maps an ε grid to labeled points.
+func PointsEps(epss []float64) []Point {
+	out := make([]Point, len(epss))
+	for i, e := range epss {
+		out[i] = PointEps(e)
+	}
+	return out
+}
+
+// PointsBeta maps a β grid to labeled points.
+func PointsBeta(betas []float64) []Point {
+	out := make([]Point, len(betas))
+	for i, b := range betas {
+		out[i] = PointBeta(b)
+	}
+	return out
+}
+
+// PointsCap maps a capacity-factor grid to labeled points.
+func PointsCap(cfs []int) []Point {
+	out := make([]Point, len(cfs))
+	for i, cf := range cfs {
+		out[i] = PointCap(cf)
+	}
+	return out
+}
+
+// Scenario declares one experiment sweep: the cartesian grid
+// Families × Ns × Seeds × Points and the measurement Run to execute on
+// each cell. T is the row type the measurement produces; a cell may
+// contribute zero, one, or several rows.
+//
+// Nil axes default to a single neutral value (Seeds to {1}, Points to
+// the zero point), so a scenario only names the axes it actually sweeps.
+type Scenario[T any] struct {
+	Name     string
+	Families []graph.Family
+	Ns       []int
+	Seeds    []int64
+	Points   []Point
+	// Model is the hybrid.Config template every cell instantiates;
+	// Config.Seed is ignored and replaced by the cell's derived seed.
+	Model hybrid.Config
+	Run   func(c *Cell) ([]T, error)
+}
+
+// Cell is one unit of sweep work: a single coordinate of the scenario
+// grid. Cells are self-contained — they build their own graph and
+// derive their own seeds — so any subset can run concurrently.
+type Cell struct {
+	Scenario string
+	Family   graph.Family
+	N        int
+	BaseSeed int64
+	Point    Point
+	// Index is the cell's position in the canonical expansion order
+	// (families outermost, then sizes, seeds, points).
+	Index int
+
+	model hybrid.Config
+}
+
+func (c *Cell) String() string {
+	s := fmt.Sprintf("%s/%s/n=%d/seed=%d", c.Scenario, c.Family, c.N, c.BaseSeed)
+	if c.Point.Label != "" {
+		s += "/" + c.Point.Label
+	}
+	return s
+}
+
+// DeriveSeed hashes the cell's coordinates plus the given labels into a
+// deterministic positive 63-bit seed. Distinct label lists give
+// independent streams; the result never depends on which worker runs
+// the cell or in what order.
+func (c *Cell) DeriveSeed(labels ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	put(c.Scenario)
+	put(string(c.Family))
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.N))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.BaseSeed))
+	h.Write(buf[:])
+	for _, l := range labels {
+		put(l)
+	}
+	// splitmix64 finalizer for avalanche over the FNV state.
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	seed := int64(z &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Seed is the cell's default derived seed; it depends on every cell
+// coordinate including the point label.
+func (c *Cell) Seed() int64 { return c.DeriveSeed("cell", c.Point.Label) }
+
+// GraphSeed depends on the family, size and base seed but not on the
+// point, so every point of a sweep measures the same randomized graph
+// instance.
+func (c *Cell) GraphSeed() int64 { return c.DeriveSeed("graph") }
+
+// Rng returns a fresh point-dependent random stream for the cell.
+func (c *Cell) Rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed())) }
+
+// BuildGraph constructs the cell's graph instance from GraphSeed.
+func (c *Cell) BuildGraph() (*graph.Graph, error) {
+	return graph.Build(c.Family, c.N, rand.New(rand.NewSource(c.GraphSeed())))
+}
+
+// Config returns the cell's model configuration: the scenario template
+// with the derived cell seed, and Point.CapFactor applied when set.
+func (c *Cell) Config() hybrid.Config {
+	cfg := c.model
+	cfg.Seed = c.Seed()
+	if c.Point.CapFactor > 0 {
+		cfg.CapFactor = c.Point.CapFactor
+	}
+	return cfg
+}
+
+// NewNet builds a fresh network over g under the cell's model config
+// with the given seed — pass successive values of a Rng() stream when a
+// cell measures several independent executions.
+func (c *Cell) NewNet(g *graph.Graph, seed int64) (*hybrid.Net, error) {
+	cfg := c.Config()
+	cfg.Seed = seed
+	return hybrid.New(g, cfg)
+}
+
+// Cells expands the scenario grid in canonical order: families
+// outermost, then sizes, base seeds, and points innermost.
+func Cells[T any](sc *Scenario[T]) []Cell {
+	families := sc.Families
+	if len(families) == 0 {
+		families = []graph.Family{""}
+	}
+	ns := sc.Ns
+	if len(ns) == 0 {
+		ns = []int{0}
+	}
+	seeds := sc.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	points := sc.Points
+	if len(points) == 0 {
+		points = []Point{{}}
+	}
+	cells := make([]Cell, 0, len(families)*len(ns)*len(seeds)*len(points))
+	for _, fam := range families {
+		for _, n := range ns {
+			for _, seed := range seeds {
+				for _, pt := range points {
+					cells = append(cells, Cell{
+						Scenario: sc.Name,
+						Family:   fam,
+						N:        n,
+						BaseSeed: seed,
+						Point:    pt,
+						Index:    len(cells),
+						model:    sc.Model,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Runner fans independent sweep cells out over a fixed-size worker pool.
+type Runner struct {
+	// Workers is the pool size; values ≤ 0 mean GOMAXPROCS.
+	Workers int
+}
+
+// Serial returns a single-worker runner.
+func Serial() *Runner { return &Runner{Workers: 1} }
+
+// Parallel returns a GOMAXPROCS-sized runner.
+func Parallel() *Runner { return &Runner{} }
+
+func (r *Runner) workers() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// Collect runs every cell of the scenario on r's pool and returns the
+// rows concatenated in canonical cell order. The output is independent
+// of the worker count; on failure the error of the lowest-indexed
+// failing cell is returned.
+func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
+	if sc.Run == nil {
+		return nil, fmt.Errorf("runner: scenario %q has no Run function", sc.Name)
+	}
+	cells := Cells(sc)
+	results := make([][]T, len(cells))
+	errs := make([]error, len(cells))
+	workers := r.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i := range cells {
+			results[i], errs[i] = sc.Run(&cells[i])
+		}
+	} else {
+		work := make(chan int, len(cells))
+		for i := range cells {
+			work <- i
+		}
+		close(work)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = sc.Run(&cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: cell %s: %w", cells[i].String(), err)
+		}
+	}
+	var out []T
+	for _, rows := range results {
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+// Result sinks: a swept scenario renders into a Table (header + string
+// rows), and a Sink streams tables into an output format — markdown for
+// the report, CSV for plotting pipelines, JSONL for log-structured
+// consumers. All sinks are deterministic: identical tables produce
+// byte-identical output.
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one rendered sweep artifact.
+type Table struct {
+	// Name is the machine key ("table1", "figure1/path", …) carried in
+	// CSV and JSONL records.
+	Name string
+	// Title is the human heading used by the markdown sink.
+	Title string
+	// Header holds the display column names (markdown).
+	Header []string
+	// Keys holds the machine column keys (CSV/JSONL); when nil, Header
+	// is used for both.
+	Keys []string
+	// Rows are the formatted cell values, aligned with Header.
+	Rows [][]string
+	// Note is a free-form trailer (e.g. the Figure 1 ASCII landscape);
+	// only the markdown sink renders it.
+	Note string
+}
+
+func (t *Table) keys() []string {
+	if t.Keys != nil {
+		return t.Keys
+	}
+	return t.Header
+}
+
+// Sink consumes tables row by row.
+type Sink interface {
+	BeginTable(t *Table) error
+	Row(values []string) error
+	EndTable() error
+}
+
+// WriteTable streams one table through a sink.
+func WriteTable(s Sink, t *Table) error {
+	if err := s.BeginTable(t); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := s.Row(row); err != nil {
+			return err
+		}
+	}
+	return s.EndTable()
+}
+
+// Markdown renders a header and rows as a GitHub-flavored table.
+func Markdown(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// MarkdownSink renders each table as a "## Title" section followed by a
+// GitHub-flavored table and the optional note.
+type MarkdownSink struct {
+	W    io.Writer
+	note string
+}
+
+// BeginTable writes the section heading and the table header.
+func (s *MarkdownSink) BeginTable(t *Table) error {
+	s.note = t.Note
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(s.W, "## %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.W, Markdown(t.Header, nil))
+	return err
+}
+
+// Row writes one table row.
+func (s *MarkdownSink) Row(values []string) error {
+	_, err := io.WriteString(s.W, "| "+strings.Join(values, " | ")+" |\n")
+	return err
+}
+
+// EndTable writes the table note and a blank separator line.
+func (s *MarkdownSink) EndTable() error {
+	if s.note != "" {
+		if _, err := io.WriteString(s.W, "\n"+s.note); err != nil {
+			return err
+		}
+		s.note = ""
+	}
+	_, err := io.WriteString(s.W, "\n")
+	return err
+}
+
+// CSVSink streams every table into one CSV document. Because tables of
+// one report have different schemas, each record is prefixed with a
+// "table" column and each table re-emits its header record.
+type CSVSink struct {
+	w    *csv.Writer
+	name string
+}
+
+// NewCSVSink returns a CSV sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+// BeginTable writes the table's header record.
+func (s *CSVSink) BeginTable(t *Table) error {
+	s.name = t.Name
+	return s.w.Write(append([]string{"table"}, t.keys()...))
+}
+
+// Row writes one record.
+func (s *CSVSink) Row(values []string) error {
+	return s.w.Write(append([]string{s.name}, values...))
+}
+
+// EndTable flushes buffered records.
+func (s *CSVSink) EndTable() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// JSONLSink streams one JSON object per row: the table name under
+// "table" plus each machine column key mapped to its formatted value.
+// Object keys are emitted in sorted order, so output is deterministic.
+type JSONLSink struct {
+	enc  *json.Encoder
+	name string
+	keys []string
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncoder(w)} }
+
+// BeginTable records the table's name and column keys.
+func (s *JSONLSink) BeginTable(t *Table) error {
+	s.name = t.Name
+	s.keys = t.keys()
+	return nil
+}
+
+// Row writes one JSON line.
+func (s *JSONLSink) Row(values []string) error {
+	obj := make(map[string]string, len(values)+1)
+	obj["table"] = s.name
+	for i, v := range values {
+		if i < len(s.keys) {
+			obj[s.keys[i]] = v
+		}
+	}
+	return s.enc.Encode(obj)
+}
+
+// EndTable is a no-op for JSONL.
+func (s *JSONLSink) EndTable() error { return nil }

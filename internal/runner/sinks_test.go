@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	return &Table{
+		Name:   "demo",
+		Title:  "Demo — a table",
+		Header: []string{"family", "Thm1 (rounds)"},
+		Keys:   []string{"family", "thm1_rounds"},
+		Rows:   [][]string{{"path", "12"}, {"grid2d", "7"}},
+		Note:   "a trailing note\n",
+	}
+}
+
+func TestMarkdownSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&MarkdownSink{W: &buf}, demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Demo — a table\n",
+		"| family | Thm1 (rounds) |\n",
+		"| --- | --- |\n",
+		"| path | 12 |\n",
+		"| grid2d | 7 |\n",
+		"a trailing note\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The note must follow the rows.
+	if strings.Index(out, "note") < strings.Index(out, "grid2d") {
+		t.Fatalf("note before rows:\n%s", out)
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	if err := WriteTable(s, demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records=%d", len(records))
+	}
+	if records[0][0] != "table" || records[0][2] != "thm1_rounds" {
+		t.Fatalf("header %v", records[0])
+	}
+	if records[1][0] != "demo" || records[1][1] != "path" || records[1][2] != "12" {
+		t.Fatalf("row %v", records[1])
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(NewJSONLSink(&buf), demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	var obj map[string]string
+	if err := json.Unmarshal([]byte(lines[1]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["table"] != "demo" || obj["family"] != "grid2d" || obj["thm1_rounds"] != "7" {
+		t.Fatalf("obj=%v", obj)
+	}
+}
+
+func TestTableKeysDefaultToHeader(t *testing.T) {
+	tab := &Table{Name: "x", Header: []string{"a b", "c"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	if err := WriteTable(NewJSONLSink(&buf), tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"a b":"1"`) {
+		t.Fatalf("header not used as keys: %s", buf.String())
+	}
+}
