@@ -1,0 +1,115 @@
+package repro_test
+
+// The benchmark regression guard: testing.AllocsPerRun assertions that
+// pin the allocation behaviour of the simulation core as normal tests
+// (no benchstat needed). The committed thresholds match the current
+// column of BENCH_core.json; lowering them is progress, raising them is
+// a regression that must be justified.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+)
+
+func requireAllocFree(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation guard skipped under -race (instrumentation allocates)")
+	}
+}
+
+// TestCoreRoundLoopAllocationFree is the acceptance gate of the pooled
+// engine: one steady-state TickLocal + SendGlobal round on a frozen
+// 1024-node graph must perform zero allocations.
+func TestCoreRoundLoopAllocationFree(t *testing.T) {
+	requireAllocFree(t)
+	net, err := hybrid.New(coreExpander(), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := coreMsgs()
+	allocs := testing.AllocsPerRun(200, func() {
+		net.TickLocal("core/round", 1)
+		if _, err := net.SendGlobal("core/round", msgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TickLocal+SendGlobal round allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCoreSendLocalAllocationFree pins the λ-unbounded and λ = 1 local
+// schedulers at zero steady-state allocations.
+func TestCoreSendLocalAllocationFree(t *testing.T) {
+	requireAllocFree(t)
+	g := coreGrid()
+	msgs := make([]hybrid.Msg, 64)
+	for i := range msgs {
+		v := (i * 13) % (coreN - 32)
+		msgs[i] = hybrid.Msg{From: v, To: v + 32}
+	}
+	for _, cfg := range []hybrid.Config{{}, {LocalWordCap: 1}} {
+		net, err := hybrid.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the pooled per-edge map before measuring.
+		if _, err := net.SendLocal("core/local", msgs); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := net.SendLocal("core/local", msgs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("SendLocal (λ=%d) allocates %.1f times per run, want 0", cfg.LocalWordCap, allocs)
+		}
+	}
+}
+
+// TestCoreLoadRoundsAllocationFree pins the load-vector companion.
+func TestCoreLoadRoundsAllocationFree(t *testing.T) {
+	requireAllocFree(t)
+	net, err := hybrid.New(coreExpander(), hybrid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, coreN)
+	in := make([]int, coreN)
+	out[3], in[9] = 25, 31
+	allocs := testing.AllocsPerRun(200, func() {
+		net.LoadRounds("core/load", out, in)
+	})
+	if allocs != 0 {
+		t.Fatalf("LoadRounds allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCoreKernelAllocBudgets bounds the per-call allocation counts of
+// the CSR graph kernels (each returns freshly allocated results, so the
+// budget is the handful of output slices, not zero).
+func TestCoreKernelAllocBudgets(t *testing.T) {
+	requireAllocFree(t)
+	grid := coreGrid()
+	weighted := graph.RandomWeights(coreExpander(), 100, rand.New(rand.NewSource(9)))
+	cases := []struct {
+		name   string
+		budget float64
+		run    func()
+	}{
+		{"BFS", 2, func() { grid.BFS(0) }},
+		{"Dijkstra", 4, func() { weighted.Dijkstra(0) }},
+		{"HopLimitedDistances", 4, func() { grid.HopLimitedDistances(0, 16) }},
+		{"BallSizes", 2, func() { grid.BallSizes(0, 16) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(20, c.run); allocs > c.budget {
+			t.Errorf("%s allocates %.1f times per run, budget %.0f", c.name, allocs, c.budget)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command benchjson renders `go test -bench` output as JSONL through the
+// experiment harness's runner.JSONLSink, so benchmark results land in the
+// same log-structured format as the sweep artifacts. With -baseline it
+// joins a second measurement (either raw bench text or a previously
+// emitted JSONL file) onto the current one and reports the speedup, which
+// is how the committed BENCH_core.json perf record is produced:
+//
+//	go test -run '^$' -bench BenchmarkCore -count=3 . > bench.txt
+//	benchjson -baseline BENCH_core.json -current bench.txt > BENCH_core_run.json
+//
+// With -count > 1 the median ns/op (and its allocs/op) per benchmark is
+// reported. Output rows are sorted by benchmark name, so the document is
+// deterministic for a fixed pair of inputs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "baseline measurement (bench text or benchjson JSONL); optional")
+	currentPath := fs.String("current", "", "current measurement (bench text); default stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cur []byte
+	var err error
+	if *currentPath == "" {
+		cur, err = io.ReadAll(os.Stdin)
+	} else {
+		cur, err = os.ReadFile(*currentPath)
+	}
+	if err != nil {
+		return err
+	}
+	current, err := parse(cur)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines in current input")
+	}
+
+	baseline := map[string]measurement{}
+	if *baselinePath != "" {
+		base, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return err
+		}
+		baseline, err = parse(base)
+		if err != nil {
+			return err
+		}
+	}
+	return write(w, baseline, current)
+}
+
+// measurement is one benchmark's aggregated result.
+type measurement struct {
+	NsOp     float64
+	AllocsOp int64
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
+
+// parse extracts per-benchmark measurements from `go test -bench` text or
+// from benchjson's own JSONL output (treated as a baseline: the
+// current_* fields of each row are read back). Repeated bench lines
+// (-count > 1) aggregate to the median ns/op.
+func parse(data []byte) (map[string]measurement, error) {
+	if looksLikeJSONL(data) {
+		return parseJSONL(data)
+	}
+	samples := make(map[string][]measurement)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, err = strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+			}
+		}
+		samples[m[1]] = append(samples[m[1]], measurement{NsOp: ns, AllocsOp: allocs})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]measurement, len(samples))
+	for name, ss := range samples {
+		sort.Slice(ss, func(a, b int) bool { return ss[a].NsOp < ss[b].NsOp })
+		out[name] = ss[len(ss)/2]
+	}
+	return out, nil
+}
+
+func looksLikeJSONL(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+func parseJSONL(data []byte) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row map[string]string
+		if err := json.Unmarshal(line, &row); err != nil {
+			return nil, fmt.Errorf("bad JSONL baseline line %q: %v", line, err)
+		}
+		name := row["benchmark"]
+		if name == "" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(row["current_ns_op"], 64)
+		if err != nil {
+			continue
+		}
+		allocs, _ := strconv.ParseInt(row["current_allocs_op"], 10, 64)
+		out[name] = measurement{NsOp: ns, AllocsOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+// write renders the joined measurements through the runner's JSONL sink.
+func write(w io.Writer, baseline, current map[string]measurement) error {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := &runner.Table{
+		Name: "bench_core",
+		Keys: []string{"benchmark", "baseline_ns_op", "baseline_allocs_op", "current_ns_op", "current_allocs_op", "speedup"},
+	}
+	for _, name := range names {
+		cur := current[name]
+		baseNs, baseAllocs, speedup := "", "", ""
+		if base, ok := baseline[name]; ok {
+			baseNs = formatNs(base.NsOp)
+			baseAllocs = strconv.FormatInt(base.AllocsOp, 10)
+			if cur.NsOp > 0 {
+				speedup = strconv.FormatFloat(base.NsOp/cur.NsOp, 'f', 2, 64)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			name, baseNs, baseAllocs, formatNs(cur.NsOp), strconv.FormatInt(cur.AllocsOp, 10), speedup,
+		})
+	}
+	sink := runner.NewJSONLSink(w)
+	return runner.WriteTable(sink, t)
+}
+
+func formatNs(ns float64) string { return strconv.FormatFloat(ns, 'f', 1, 64) }

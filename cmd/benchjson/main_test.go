@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+pkg: repro
+BenchmarkCoreRoundLoop        	  381388	      9000 ns/op	   16745 B/op	       2 allocs/op
+BenchmarkCoreRoundLoop        	  400000	      8000 ns/op	   16700 B/op	       2 allocs/op
+BenchmarkCoreRoundLoop        	  390000	      8500 ns/op	   16720 B/op	       2 allocs/op
+BenchmarkCoreBFS-8            	  260613	      8567 ns/op	   12288 B/op	       2 allocs/op
+PASS
+`
+
+const currentText = `BenchmarkCoreRoundLoop	 7000000	      300.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoreBFS	  260613	      8567 ns/op	   12288 B/op	       2 allocs/op
+BenchmarkCoreNew	  100	      42.0 ns/op	       0 B/op	       0 allocs/op
+`
+
+func TestBenchjsonJoinsBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	if err := os.WriteFile(base, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(currentText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d rows, want 3:\n%s", len(lines), out)
+	}
+	// Rows are sorted by benchmark name: BFS, New, RoundLoop.
+	// Median of {8000, 8500, 9000} is 8500; speedup 8500/300 = 28.33.
+	if !strings.Contains(lines[2], `"benchmark":"BenchmarkCoreRoundLoop"`) ||
+		!strings.Contains(lines[2], `"baseline_ns_op":"8500.0"`) ||
+		!strings.Contains(lines[2], `"speedup":"28.33"`) {
+		t.Fatalf("round-loop row wrong: %s", lines[2])
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	if !strings.Contains(lines[0], `"benchmark":"BenchmarkCoreBFS"`) ||
+		!strings.Contains(lines[0], `"speedup":"1.00"`) {
+		t.Fatalf("bfs row wrong: %s", lines[0])
+	}
+	// A benchmark absent from the baseline reports empty baseline fields.
+	if !strings.Contains(lines[1], `"benchmark":"BenchmarkCoreNew"`) ||
+		!strings.Contains(lines[1], `"baseline_ns_op":""`) ||
+		!strings.Contains(lines[1], `"speedup":""`) {
+		t.Fatalf("new-benchmark row wrong: %s", lines[1])
+	}
+
+	// The emitted JSONL must itself parse as a baseline (round-trip).
+	prev := filepath.Join(dir, "prev.jsonl")
+	if err := os.WriteFile(prev, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := run([]string{"-baseline", prev, "-current", cur}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), `"speedup":"1.00"`) {
+		t.Fatalf("round-trip baseline lost measurements:\n%s", buf2.String())
+	}
+}
+
+func TestBenchjsonErrorsOnEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(cur, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-current", cur}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error on input without bench lines")
+	}
+}

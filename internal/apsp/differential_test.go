@@ -1,0 +1,84 @@
+package apsp_test
+
+// Differential-oracle suite for the APSP family: Algorithm 3 estimates
+// and the Corollary 2.2 exact matrix are checked entrywise against the
+// independent sequential oracle on every default family, two sizes,
+// three seeds. Runs clean under -race.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/oracle"
+	"repro/internal/sssp"
+)
+
+func buildNet(t *testing.T, f graph.Family, n int, seed int64, weighted bool) (*graph.Graph, *hybrid.Net) {
+	t.Helper()
+	g, err := graph.Build(f, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+	}
+	if weighted {
+		g = graph.RandomWeights(g, 20, rand.New(rand.NewSource(seed+100)))
+	}
+	net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+	}
+	return g, net
+}
+
+// TestUnweightedAgainstOracle: the Theorem 6 estimate matrix must be a
+// (1+ε)-approximation of the oracle's exact hop distances, row by row.
+func TestUnweightedAgainstOracle(t *testing.T) {
+	const eps = 0.5
+	for _, f := range graph.Families() {
+		for _, n := range []int{24, 40} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g, net := buildNet(t, f, n, seed, false)
+				dist, res, err := apsp.Unweighted(net, eps, true)
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: Unweighted: %v", f, n, seed, err)
+				}
+				if res.Stretch > 1+eps {
+					t.Fatalf("%s/n=%d/seed=%d: reported stretch %v > %v", f, n, seed, res.Stretch, 1+eps)
+				}
+				exact := oracle.HopAPSP(g.Unweighted())
+				for v := range dist {
+					if err := sssp.VerifyStretch(exact[v], dist[v], 1+eps); err != nil {
+						t.Fatalf("%s/n=%d/seed=%d: row %d: %v", f, n, seed, v, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparseExactAgainstOracle: Corollary 2.2 must reproduce the
+// oracle's weighted distance matrix exactly on every family.
+func TestSparseExactAgainstOracle(t *testing.T) {
+	for _, f := range graph.Families() {
+		for _, n := range []int{24, 40} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g, net := buildNet(t, f, n, seed, true)
+				dist, _, err := apsp.SparseExact(net, true)
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: SparseExact: %v", f, n, seed, err)
+				}
+				want := oracle.APSP(g)
+				for v := range want {
+					for w := range want {
+						if dist[v][w] != want[v][w] {
+							t.Fatalf("%s/n=%d/seed=%d: d(%d,%d)=%d, oracle %d",
+								f, n, seed, v, w, dist[v][w], want[v][w])
+						}
+					}
+				}
+			}
+		}
+	}
+}

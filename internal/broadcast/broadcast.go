@@ -179,6 +179,23 @@ type treeState struct {
 	slots    int           // logical binary tree size per cluster (uniform)
 	weakDiam int           // 4·NQ_k upper bound used for local phases
 	maxLoad  int           // largest per-node word load of any level
+	// out/in are the per-node word-load vectors of the current up-/down-
+	// cast level, allocated once per run and re-zeroed between levels.
+	out, in []int
+}
+
+// loads returns the level load vectors, zeroed for the next level.
+func (st *treeState) loads() (out, in []int) {
+	if st.out == nil {
+		st.out = make([]int, st.net.N())
+		st.in = make([]int, st.net.N())
+		return st.out, st.in
+	}
+	for i := range st.out {
+		st.out[i] = 0
+		st.in[i] = 0
+	}
+	return st.out, st.in
 }
 
 func newTreeState(net *hybrid.Net, cl *cluster.Clustering) (*treeState, error) {
@@ -220,7 +237,6 @@ func (st *treeState) slotNode(ci, s int) int {
 // messages per matched pair per level.
 func (st *treeState) chainClusters() {
 	net := st.net
-	n := net.N()
 	depth := 1
 	for s := 1; s < st.slots; s <<= 1 {
 		depth++
@@ -228,8 +244,7 @@ func (st *treeState) chainClusters() {
 	// Per level: each node participating in a matching for some tree edge
 	// sends/receives O(1) identifiers per incident cluster-tree edge.
 	for level := 0; level < depth; level++ {
-		out := make([]int, n)
-		in := make([]int, n)
+		out, in := st.loads()
 		lo := (1 << level) - 1
 		hi := (1 << (level + 1)) - 1
 		if hi > st.slots {
@@ -290,11 +305,9 @@ func (st *treeState) addTransferLoad(out, in []int, ci, pi, tokens int) {
 // before each level (the paper's O(log n) up-cast iterations).
 func (st *treeState) convergeCastSets(phase string, sets []bitset.Set) error {
 	levels := st.treeLevels()
-	n := st.net.N()
 	for li := len(levels) - 1; li >= 1; li-- {
 		st.loadBalance(phase + "/loadbalance")
-		out := make([]int, n)
-		in := make([]int, n)
+		out, in := st.loads()
 		type edge struct{ child, parent int }
 		var edges []edge
 		for _, leader := range levels[li] {
@@ -315,15 +328,13 @@ func (st *treeState) convergeCastSets(phase string, sets []bitset.Set) error {
 // cluster tree level by level (k words per edge, slot-balanced).
 func (st *treeState) broadcastDownAll(phase string, sets []bitset.Set, k int) error {
 	levels := st.treeLevels()
-	n := st.net.N()
 	rootCi := st.clusterOfLeader(st.ctree.Root())
 	if sets[rootCi].Count() != k {
 		return fmt.Errorf("broadcast: root cluster holds %d/%d tokens before downcast", sets[rootCi].Count(), k)
 	}
 	for li := 0; li+1 < len(levels); li++ {
 		st.loadBalance(phase + "/loadbalance")
-		out := make([]int, n)
-		in := make([]int, n)
+		out, in := st.loads()
 		for _, leader := range levels[li+1] {
 			ci := st.clusterOfLeader(leader)
 			pi := st.clusterOfLeader(st.ctree.Parent(leader))
@@ -431,8 +442,7 @@ func Aggregate(net *hybrid.Net, k int, values [][]int64, f AggregateFunc) ([]int
 	levels := st.treeLevels()
 	for li := len(levels) - 1; li >= 1; li-- {
 		st.loadBalance("aggregate/upcast/loadbalance")
-		out := make([]int, n)
-		in := make([]int, n)
+		out, in := st.loads()
 		for _, leader := range levels[li] {
 			ci := st.clusterOfLeader(leader)
 			pi := st.clusterOfLeader(st.ctree.Parent(leader))

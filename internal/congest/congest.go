@@ -46,9 +46,20 @@ type Node interface {
 }
 
 // Runner drives a CONGEST algorithm over a network's local graph.
+// Round state (outboxes, inboxes, the per-edge dedup map, the engine
+// batch) is pooled on the Runner and reused — truncated or cleared, not
+// reallocated — across rounds. The from/words slices handed to Step are
+// valid only for the duration of that call; programs must copy anything
+// they keep.
 type Runner struct {
 	net   *hybrid.Net
 	nodes []Node
+
+	outboxes []Outbox
+	inFrom   [][]int
+	inWords  [][]Word
+	batch    []hybrid.Msg
+	payloads map[[2]int]Word
 }
 
 // NewRunner wraps net (which should be a CONGEST-mode network, e.g.
@@ -72,45 +83,57 @@ func NewRunner(net *hybrid.Net, nodes []Node) (*Runner, error) {
 // are enforced; sending two words over one edge in a round is an error.
 func (r *Runner) Run(phase string, maxRounds int) (int, error) {
 	n := r.net.N()
-	inFrom := make([][]int, n)
-	inWords := make([][]Word, n)
+	if r.inFrom == nil {
+		r.inFrom = make([][]int, n)
+		r.inWords = make([][]Word, n)
+		r.outboxes = make([]Outbox, n)
+		r.payloads = make(map[[2]int]Word, 64)
+	} else {
+		// A previous Run may have ended (timeout, error) right after the
+		// delivery loop refilled the inboxes; a fresh Run starts empty.
+		for v := 0; v < n; v++ {
+			r.inFrom[v] = r.inFrom[v][:0]
+			r.inWords[v] = r.inWords[v][:0]
+		}
+		r.batch = r.batch[:0]
+	}
 	for round := 0; round < maxRounds; round++ {
 		allDone := true
-		var batch []hybrid.Msg
-		payloads := make(map[[2]int]Word, 16)
-		perEdge := make(map[[2]int]bool, 16)
+		r.batch = r.batch[:0]
+		clear(r.payloads)
 		for v := 0; v < n; v++ {
-			var out Outbox
-			done := r.nodes[v].Step(round, inFrom[v], inWords[v], &out)
+			out := &r.outboxes[v]
+			out.msgs = out.msgs[:0]
+			done := r.nodes[v].Step(round, r.inFrom[v], r.inWords[v], out)
 			if !done {
 				allDone = false
 			}
 			for _, m := range out.msgs {
 				key := [2]int{v, m.to}
-				if perEdge[key] {
+				if _, dup := r.payloads[key]; dup {
 					return round, fmt.Errorf("congest: phase %q round %d: node %d sent two words to %d", phase, round, v, m.to)
 				}
-				perEdge[key] = true
-				payloads[key] = m.w
-				batch = append(batch, hybrid.Msg{From: v, To: m.to})
+				r.payloads[key] = m.w
+				r.batch = append(r.batch, hybrid.Msg{From: v, To: m.to})
 			}
-			inFrom[v] = nil
-			inWords[v] = nil
+			r.inFrom[v] = r.inFrom[v][:0]
+			r.inWords[v] = r.inWords[v][:0]
 		}
-		if allDone && len(batch) == 0 {
+		if allDone && len(r.batch) == 0 {
 			return round, nil
 		}
-		if len(batch) > 0 {
-			if _, err := r.net.SendLocal(phase, batch); err != nil {
+		if len(r.batch) > 0 {
+			if _, err := r.net.SendLocal(phase, r.batch); err != nil {
 				return round, err
 			}
 		} else {
 			// A silent round still advances time.
 			r.net.TickLocal(phase, 1)
 		}
-		for key, w := range payloads {
-			inFrom[key[1]] = append(inFrom[key[1]], key[0])
-			inWords[key[1]] = append(inWords[key[1]], w)
+		// Deliver in batch order (deterministic, unlike map iteration).
+		for _, m := range r.batch {
+			r.inFrom[m.To] = append(r.inFrom[m.To], m.From)
+			r.inWords[m.To] = append(r.inWords[m.To], r.payloads[[2]int{m.From, m.To}])
 		}
 	}
 	return maxRounds, fmt.Errorf("congest: phase %q did not terminate within %d rounds", phase, maxRounds)
@@ -158,9 +181,10 @@ func BFS(net *hybrid.Net, src int) ([]int64, int, error) {
 	progs := make([]*bfsNode, n)
 	for v := 0; v < n; v++ {
 		p := &bfsNode{id: v, isRoot: v == src, dist: -1}
-		for _, e := range g.Neighbors(v) {
-			p.neighbors = append(p.neighbors, int(e.To))
-		}
+		p.neighbors = make([]int, 0, g.Degree(v))
+		g.ForEachNeighbor(v, func(u int, _ int64) {
+			p.neighbors = append(p.neighbors, u)
+		})
 		progs[v] = p
 		nodes[v] = p
 	}
@@ -236,10 +260,12 @@ func BellmanFord(net *hybrid.Net, src int) ([]int64, int, error) {
 	progs := make([]*bellmanFordNode, n)
 	for v := 0; v < n; v++ {
 		p := &bellmanFordNode{isRoot: v == src, dist: -1}
-		for _, e := range g.Neighbors(v) {
-			p.neighbors = append(p.neighbors, int(e.To))
-			p.weights = append(p.weights, e.W)
-		}
+		p.neighbors = make([]int, 0, g.Degree(v))
+		p.weights = make([]int64, 0, g.Degree(v))
+		g.ForEachNeighbor(v, func(u int, w int64) {
+			p.neighbors = append(p.neighbors, u)
+			p.weights = append(p.weights, w)
+		})
 		progs[v] = p
 		nodes[v] = p
 	}

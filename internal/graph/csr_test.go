@@ -1,0 +1,275 @@
+package graph_test
+
+// Differential tests of the CSR hot paths: every frozen traversal must
+// agree with the unfrozen adjacency-list walk on identically-constructed
+// graphs, and both must agree with the independent sequential oracle
+// (internal/oracle) across all 11 graph families. Also the regression
+// test for the Freeze/AddEdge mutation guard.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// TestAddEdgeAfterFreezeErrors is the regression test for the mutation
+// guard: AddEdge on a frozen graph must fail with ErrFrozen and leave
+// both representations untouched.
+func TestAddEdgeAfterFreezeErrors(t *testing.T) {
+	g := graph.Path(5)
+	if err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatalf("AddEdge before Freeze: %v", err)
+	}
+	if g.Frozen() {
+		t.Fatal("graph frozen before Freeze")
+	}
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	m := g.M()
+	if err := g.AddEdge(1, 3, 1); err != graph.ErrFrozen {
+		t.Fatalf("AddEdge after Freeze: err=%v, want ErrFrozen", err)
+	}
+	if g.M() != m {
+		t.Fatalf("edge count changed by rejected AddEdge: %d -> %d", m, g.M())
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("rejected edge present")
+	}
+	// Freeze is idempotent.
+	g.Freeze()
+	if got := g.BFS(0)[4]; got != 3 {
+		t.Fatalf("frozen BFS wrong: d(0,4)=%d, want 3", got)
+	}
+}
+
+// TestBuildReturnsFrozen pins the generator contract: every family
+// built through Build is frozen.
+func TestBuildReturnsFrozen(t *testing.T) {
+	for _, f := range graph.Families() {
+		g, err := graph.Build(f, 40, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !g.Frozen() {
+			t.Errorf("%s: Build did not freeze", f)
+		}
+		if err := g.AddEdge(0, g.N()-1, 1); err != graph.ErrFrozen {
+			t.Errorf("%s: AddEdge on built graph: %v, want ErrFrozen", f, err)
+		}
+	}
+}
+
+// TestDerivedGraphsPreserveFrozen: Clone, Reweight, Unweighted and
+// Subgraph of a frozen graph stay frozen (and of an unfrozen graph stay
+// unfrozen).
+func TestDerivedGraphsPreserveFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frozen := graph.RandomConnected(30, 0.1, rng).Freeze()
+	unfrozen := graph.RandomConnected(30, 0.1, rng)
+	if !frozen.Clone().Frozen() || unfrozen.Clone().Frozen() {
+		t.Fatal("Clone does not preserve frozen state")
+	}
+	if !graph.RandomWeights(frozen, 9, rng).Frozen() {
+		t.Fatal("Reweight of frozen graph not frozen")
+	}
+	if graph.RandomWeights(unfrozen, 9, rng).Frozen() {
+		t.Fatal("Reweight of unfrozen graph frozen")
+	}
+	if !frozen.Unweighted().Frozen() {
+		t.Fatal("Unweighted of frozen graph not frozen")
+	}
+	keep := make([]bool, frozen.N())
+	for v := 0; v < 10; v++ {
+		keep[v] = true
+	}
+	if sub, _ := frozen.Subgraph(keep); !sub.Frozen() {
+		t.Fatal("Subgraph of frozen graph not frozen")
+	}
+}
+
+// TestRowMatchesNeighbors: the CSR row of every node must list the same
+// neighbors and weights, in the same order, as the adjacency list.
+func TestRowMatchesNeighbors(t *testing.T) {
+	g := graph.RandomConnected(50, 0.1, rand.New(rand.NewSource(3)))
+	if to, w := g.Row(0); to != nil || w != nil {
+		t.Fatal("Row non-nil before Freeze")
+	}
+	g.Freeze()
+	for v := 0; v < g.N(); v++ {
+		to, w := g.Row(v)
+		es := g.Neighbors(v)
+		if len(to) != len(es) || len(w) != len(es) {
+			t.Fatalf("node %d: row length %d/%d vs %d neighbors", v, len(to), len(w), len(es))
+		}
+		for i, e := range es {
+			if to[i] != e.To || w[i] != e.W {
+				t.Fatalf("node %d slot %d: row (%d,%d) vs edge (%d,%d)", v, i, to[i], w[i], e.To, e.W)
+			}
+		}
+	}
+}
+
+// twins lists generator pairs that construct the identical instance
+// twice — same constructor, same seed, hence identical per-node
+// adjacency order — so frozen and unfrozen traversals can be compared
+// exactly, including order-sensitive outputs.
+func twins(n int, seed int64) map[string]func() *graph.Graph {
+	return map[string]func() *graph.Graph{
+		"path":          func() *graph.Graph { return graph.Path(n) },
+		"cycle":         func() *graph.Graph { return graph.Cycle(n) },
+		"grid2d":        func() *graph.Graph { return graph.Grid(6, 2) },
+		"grid3d":        func() *graph.Graph { return graph.Grid(4, 3) },
+		"torus2d":       func() *graph.Graph { return graph.Torus(6, 2) },
+		"ringofcliques": func() *graph.Graph { return graph.RingOfCliques(8, 5) },
+		"lollipop":      func() *graph.Graph { return graph.Lollipop(7, n-7) },
+		"tree":          func() *graph.Graph { return graph.BinaryTree(n) },
+		"hypercube":     func() *graph.Graph { return graph.Hypercube(5) },
+		"random": func() *graph.Graph {
+			return graph.RandomConnected(n, 0.08, rand.New(rand.NewSource(seed)))
+		},
+		"expander": func() *graph.Graph {
+			return graph.RandomRegular(n, 4, rand.New(rand.NewSource(seed)))
+		},
+	}
+}
+
+// TestFrozenMatchesUnfrozenTwins compares every traversal on the frozen
+// and unfrozen builds of the same instance, including order-sensitive
+// outputs (Ball order, closest-source indices): the CSR arrays preserve
+// adjacency order exactly, so results must be deep-equal.
+func TestFrozenMatchesUnfrozenTwins(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for name, mk := range twins(40, seed) {
+			unfrozen := mk()
+			frozen := mk().Freeze()
+			n := unfrozen.N()
+			srcs := []int{0, n / 2, n - 1}
+
+			if got, want := frozen.BFS(0), unfrozen.BFS(0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/seed=%d: BFS differs", name, seed)
+			}
+			fd, fn := frozen.MultiSourceBFS(srcs)
+			ud, un := unfrozen.MultiSourceBFS(srcs)
+			if !reflect.DeepEqual(fd, ud) || !reflect.DeepEqual(fn, un) {
+				t.Fatalf("%s/seed=%d: MultiSourceBFS differs", name, seed)
+			}
+			wf := graph.RandomWeights(frozen, 50, rand.New(rand.NewSource(seed)))
+			wu := graph.RandomWeights(unfrozen, 50, rand.New(rand.NewSource(seed)))
+			if got, want := wf.Dijkstra(0), wu.Dijkstra(0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/seed=%d: Dijkstra differs", name, seed)
+			}
+			fwd, fwn := wf.MultiSourceDijkstra(srcs)
+			uwd, uwn := wu.MultiSourceDijkstra(srcs)
+			if !reflect.DeepEqual(fwd, uwd) || !reflect.DeepEqual(fwn, uwn) {
+				t.Fatalf("%s/seed=%d: MultiSourceDijkstra differs", name, seed)
+			}
+			if got, want := wf.HopLimitedDistances(0, 4), wu.HopLimitedDistances(0, 4); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/seed=%d: HopLimitedDistances differs", name, seed)
+			}
+			if got, want := frozen.Ball(0, 3), unfrozen.Ball(0, 3); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/seed=%d: Ball order differs", name, seed)
+			}
+			if got, want := frozen.BallSizes(0, 6), unfrozen.BallSizes(0, 6); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/seed=%d: BallSizes differs", name, seed)
+			}
+			if frozen.Connected() != unfrozen.Connected() {
+				t.Fatalf("%s/seed=%d: Connected differs", name, seed)
+			}
+			for v := 0; v < n; v += 7 {
+				for u := 0; u < n; u += 5 {
+					fw, fok := frozen.EdgeWeight(v, u)
+					uw, uok := unfrozen.EdgeWeight(v, u)
+					if fok != uok || fw != uw {
+						t.Fatalf("%s/seed=%d: EdgeWeight(%d,%d) differs", name, seed, v, u)
+					}
+					if frozen.HasEdge(v, u) != unfrozen.HasEdge(v, u) {
+						t.Fatalf("%s/seed=%d: HasEdge(%d,%d) differs", name, seed, v, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenTraversalsMatchOracle is the graph-kernel differential
+// suite: on every family in Families, two sizes, three seeds, the
+// frozen CSR traversals must agree exactly with the independent
+// sequential oracle.
+func TestFrozenTraversalsMatchOracle(t *testing.T) {
+	for _, f := range graph.Families() {
+		for _, n := range []int{33, 65} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g, err := graph.Build(f, n, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+				srcs := []int{0, g.N() - 1}
+
+				for _, src := range srcs {
+					want := oracle.BFS(g, src)
+					if got := g.BFS(src); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/bfs: BFS(%d) differs from oracle (n=%d seed=%d)", f, src, n, seed)
+					}
+				}
+
+				wg := graph.RandomWeights(g, 50, rand.New(rand.NewSource(seed)))
+				for _, src := range srcs {
+					want := oracle.Dijkstra(wg, src)
+					if got := wg.Dijkstra(src); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/dijkstra: Dijkstra(%d) differs from oracle (n=%d seed=%d)", f, src, n, seed)
+					}
+				}
+
+				ecc := oracle.Eccentricities(g)
+				if got := g.Eccentricity(0); got != ecc[0] {
+					t.Fatalf("%s/ecc: ecc(0)=%d, oracle %d (n=%d seed=%d)", f, got, ecc[0], n, seed)
+				}
+				if got, want := g.Diameter(), oracle.Diameter(g); got != want {
+					t.Fatalf("%s/diam: diameter=%d, oracle %d (n=%d seed=%d)", f, got, want, n, seed)
+				}
+
+				// Hop-limited sandwich: d ≤ frontier-relaxed d^h ≤ oracle d^h
+				// (the in-place frontier may shortcut extra hops within a
+				// round, so it can be tighter than the strict d^h), exact at
+				// h ≥ n-1.
+				h := 3
+				exact := oracle.Dijkstra(wg, 0)
+				hopOracle := oracle.HopLimited(wg, 0, h)
+				hopGot := wg.HopLimitedDistances(0, h)
+				for v := range hopGot {
+					if hopGot[v] < exact[v] || hopGot[v] > hopOracle[v] {
+						t.Fatalf("%s/hop: node %d: d^%d=%d outside [%d,%d] (n=%d seed=%d)",
+							f, v, h, hopGot[v], exact[v], hopOracle[v], n, seed)
+					}
+				}
+				if got := wg.HopLimitedDistances(0, wg.N()-1); !reflect.DeepEqual(got, exact) {
+					t.Fatalf("%s/hop-full: full-hop distances differ from exact (n=%d seed=%d)", f, n, seed)
+				}
+
+				// MultiSourceBFS distance = min over sources of oracle BFS.
+				msDist, msNearest := g.MultiSourceBFS(srcs)
+				per := make([][]int64, len(srcs))
+				for i, s := range srcs {
+					per[i] = oracle.BFS(g, s)
+				}
+				for v := range msDist {
+					want := per[0][v]
+					if per[1][v] < want {
+						want = per[1][v]
+					}
+					if msDist[v] != want {
+						t.Fatalf("%s/msbfs: dist(%d)=%d, oracle min %d (n=%d seed=%d)", f, v, msDist[v], want, n, seed)
+					}
+					if nr := msNearest[v]; nr < 0 || per[nr][v] != msDist[v] {
+						t.Fatalf("%s/msbfs: nearest[%d]=%d inconsistent (n=%d seed=%d)", f, v, nr, n, seed)
+					}
+				}
+			}
+		}
+	}
+}

@@ -251,8 +251,18 @@ func Families() []Family {
 
 // Build constructs a member of the family with approximately n nodes
 // (grids round down to a perfect power). The rng is used only by
-// FamilyRandom; it may be nil for deterministic families.
+// FamilyRandom; it may be nil for deterministic families. The returned
+// graph is frozen (Freeze): its hot-path traversals run on the flat CSR
+// arrays and further AddEdge calls fail with ErrFrozen.
 func Build(f Family, n int, rng *rand.Rand) (*Graph, error) {
+	g, err := build(f, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.Freeze(), nil
+}
+
+func build(f Family, n int, rng *rand.Rand) (*Graph, error) {
 	switch f {
 	case FamilyPath:
 		return Path(n), nil

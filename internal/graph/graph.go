@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Inf is the sentinel distance for unreachable nodes. It is chosen so that
@@ -28,12 +29,23 @@ type Edge struct {
 
 // Graph is an undirected graph with int64 edge weights.
 // The zero value is an empty graph; use New to allocate n nodes.
+//
+// A graph has two representations: the mutable adjacency lists filled
+// by AddEdge, and the flat CSR arrays built once by Freeze (csr.go).
+// Freezing makes the graph immutable and switches every hot-path
+// traversal onto the cache-dense flat arrays.
 type Graph struct {
 	adj [][]Edge
 	m   int
 	// diam caches Diameter(); 0 means "not computed" (recomputing a
 	// diameter-0 graph is free). Invalidated by AddEdge.
 	diam int64
+	// csr is the frozen flat representation; non-nil once Freeze ran.
+	csr *csr
+	// ballPool recycles the epoch-marked scratch of Ball and BallSizes,
+	// keeping those calls O(|ball|) instead of Θ(n). Safe for
+	// concurrent readers of the graph.
+	ballPool sync.Pool
 }
 
 // New returns a graph with n isolated nodes.
@@ -51,10 +63,14 @@ func (g *Graph) N() int { return len(g.adj) }
 func (g *Graph) M() int { return g.m }
 
 // AddEdge inserts the undirected edge {u,v} with weight w.
-// It returns an error for self-loops, out-of-range endpoints, or
-// non-positive weights. Parallel edges are not detected (the generators
-// never create them; use HasEdge if in doubt).
+// It returns an error for self-loops, out-of-range endpoints,
+// non-positive weights, or a frozen graph (ErrFrozen). Parallel edges
+// are not detected (the generators never create them; use HasEdge if
+// in doubt).
 func (g *Graph) AddEdge(u, v int, w int64) error {
+	if g.csr != nil {
+		return ErrFrozen
+	}
 	n := len(g.adj)
 	if u < 0 || u >= n || v < 0 || v >= n {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
@@ -95,6 +111,14 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if len(g.adj[u]) > len(g.adj[v]) {
 		u, v = v, u
 	}
+	if c := g.csr; c != nil {
+		for i, end := c.rowStart[u], c.rowStart[u+1]; i < end; i++ {
+			if int(c.to[i]) == v {
+				return true
+			}
+		}
+		return false
+	}
 	for _, e := range g.adj[u] {
 		if int(e.To) == v {
 			return true
@@ -106,6 +130,14 @@ func (g *Graph) HasEdge(u, v int) bool {
 // EdgeWeight returns the weight of the edge {u,v}, or (0,false) if absent.
 func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
 	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	if c := g.csr; c != nil {
+		for i, end := c.rowStart[u], c.rowStart[u+1]; i < end; i++ {
+			if int(c.to[i]) == v {
+				return c.w[i], true
+			}
+		}
 		return 0, false
 	}
 	for _, e := range g.adj[u] {
@@ -136,17 +168,21 @@ func (g *Graph) Edges() []UndirectedEdge {
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. A frozen graph clones frozen.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m, diam: g.diam}
 	for v, es := range g.adj {
 		c.adj[v] = append([]Edge(nil), es...)
 	}
+	if g.csr != nil {
+		c.Freeze()
+	}
 	return c
 }
 
 // Reweight returns a copy of g whose edge weights are f(u, v, w). The
-// function must return a positive weight.
+// function must return a positive weight. The copy of a frozen graph
+// is frozen.
 func (g *Graph) Reweight(f func(u, v int, w int64) int64) (*Graph, error) {
 	c := New(g.N())
 	for _, e := range g.Edges() {
@@ -154,6 +190,9 @@ func (g *Graph) Reweight(f func(u, v int, w int64) int64) (*Graph, error) {
 		if err := c.AddEdge(e.U, e.V, w); err != nil {
 			return nil, err
 		}
+	}
+	if g.csr != nil {
+		c.Freeze()
 	}
 	return c, nil
 }
@@ -199,9 +238,23 @@ func (g *Graph) Connected() bool {
 		return true
 	}
 	seen := make([]bool, n)
-	stack := []int32{0}
+	stack := make([]int32, 1, n)
 	seen[0] = true
 	count := 1
+	if c := g.csr; c != nil {
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i, end := c.rowStart[v], c.rowStart[v+1]; i < end; i++ {
+				if u := c.to[i]; !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+		return count == n
+	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -217,7 +270,8 @@ func (g *Graph) Connected() bool {
 }
 
 // Subgraph returns the subgraph induced by keep (keep[v] == true), along
-// with the mapping from new indices to original ones.
+// with the mapping from new indices to original ones. The subgraph of a
+// frozen graph is frozen.
 func (g *Graph) Subgraph(keep []bool) (*Graph, []int) {
 	idx := make([]int32, g.N())
 	var orig []int
@@ -237,6 +291,9 @@ func (g *Graph) Subgraph(keep []bool) (*Graph, []int) {
 				sub.mustAddEdge(int(idx[v]), int(idx[u]), e.W)
 			}
 		}
+	}
+	if g.csr != nil {
+		sub.Freeze()
 	}
 	return sub, orig
 }

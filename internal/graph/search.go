@@ -1,5 +1,7 @@
 package graph
 
+import "math"
+
 // BFS returns hop distances from src (Inf marks unreachable nodes).
 func (g *Graph) BFS(src int) []int64 {
 	dist := make([]int64, g.N())
@@ -12,6 +14,19 @@ func (g *Graph) BFS(src int) []int64 {
 	dist[src] = 0
 	queue := make([]int32, 1, g.N())
 	queue[0] = int32(src)
+	if c := g.csr; c != nil {
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			d := dist[v] + 1
+			for _, u := range c.to[c.rowStart[v]:c.rowStart[v+1]] {
+				if dist[u] == Inf {
+					dist[u] = d
+					queue = append(queue, u)
+				}
+			}
+		}
+		return dist
+	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, e := range g.adj[v] {
@@ -44,6 +59,20 @@ func (g *Graph) MultiSourceBFS(srcs []int) (dist []int64, nearest []int) {
 			queue = append(queue, int32(s))
 		}
 	}
+	if c := g.csr; c != nil {
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			d, nr := dist[v]+1, nearest[v]
+			for _, u := range c.to[c.rowStart[v]:c.rowStart[v+1]] {
+				if dist[u] == Inf {
+					dist[u] = d
+					nearest[u] = nr
+					queue = append(queue, u)
+				}
+			}
+		}
+		return dist, nearest
+	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, e := range g.adj[v] {
@@ -57,28 +86,69 @@ func (g *Graph) MultiSourceBFS(srcs []int) (dist []int64, nearest []int) {
 	return dist, nearest
 }
 
+// ballScratch is the pooled state of Ball and BallSizes: an epoch-marked
+// visited array (mark[v] == epoch ⇔ v visited in the current call, so no
+// per-call clearing) plus two frontier buffers. Recycled via
+// Graph.ballPool, making repeated small-radius calls O(|ball|) each.
+type ballScratch struct {
+	mark   []int32
+	epoch  int32
+	front  []int32
+	nextFr []int32
+}
+
+func (g *Graph) getBallScratch() *ballScratch {
+	s, _ := g.ballPool.Get().(*ballScratch)
+	if s == nil || len(s.mark) < g.N() {
+		s = &ballScratch{mark: make([]int32, g.N())}
+	}
+	if s.epoch == math.MaxInt32 {
+		clear(s.mark)
+		s.epoch = 0
+	}
+	s.epoch++
+	return s
+}
+
 // Ball returns the set of nodes within t hops of v (B_t(v), including v),
 // in BFS order.
 func (g *Graph) Ball(v, t int) []int {
 	if v < 0 || v >= g.N() {
 		return nil
 	}
-	dist := map[int32]int{int32(v): 0}
-	queue := []int32{int32(v)}
+	s := g.getBallScratch()
+	defer g.ballPool.Put(s)
+	mark, epoch := s.mark, s.epoch
+	mark[v] = epoch
+	frontier := append(s.front[:0], int32(v))
+	next := s.nextFr[:0]
 	out := []int{v}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		if dist[u] == t {
-			continue
-		}
-		for _, e := range g.adj[u] {
-			if _, ok := dist[e.To]; !ok {
-				dist[e.To] = dist[u] + 1
-				queue = append(queue, e.To)
-				out = append(out, int(e.To))
+	for depth := 0; depth < t && len(frontier) > 0; depth++ {
+		next = next[:0]
+		if c := g.csr; c != nil {
+			for _, u := range frontier {
+				for _, x := range c.to[c.rowStart[u]:c.rowStart[u+1]] {
+					if mark[x] != epoch {
+						mark[x] = epoch
+						next = append(next, x)
+						out = append(out, int(x))
+					}
+				}
+			}
+		} else {
+			for _, u := range frontier {
+				for _, e := range g.adj[u] {
+					if mark[e.To] != epoch {
+						mark[e.To] = epoch
+						next = append(next, e.To)
+						out = append(out, int(e.To))
+					}
+				}
 			}
 		}
+		frontier, next = next, frontier
 	}
+	s.front, s.nextFr = frontier, next
 	return out
 }
 
@@ -88,26 +158,41 @@ func (g *Graph) Ball(v, t int) []int {
 // slice may be shorter; callers should treat missing entries as n.
 func (g *Graph) BallSizes(v, maxT int) []int {
 	n := g.N()
+	s := g.getBallScratch()
+	defer g.ballPool.Put(s)
+	mark, epoch := s.mark, s.epoch
 	sizes := make([]int, 0, maxT+1)
-	seen := make(map[int32]bool, 16)
-	seen[int32(v)] = true
-	frontier := []int32{int32(v)}
+	mark[v] = epoch
+	frontier := append(s.front[:0], int32(v))
+	next := s.nextFr[:0]
 	total := 1
 	sizes = append(sizes, total)
 	for t := 1; t <= maxT && len(frontier) > 0 && total < n; t++ {
-		var next []int32
-		for _, u := range frontier {
-			for _, e := range g.adj[u] {
-				if !seen[e.To] {
-					seen[e.To] = true
-					next = append(next, e.To)
+		next = next[:0]
+		if c := g.csr; c != nil {
+			for _, u := range frontier {
+				for _, x := range c.to[c.rowStart[u]:c.rowStart[u+1]] {
+					if mark[x] != epoch {
+						mark[x] = epoch
+						next = append(next, x)
+					}
+				}
+			}
+		} else {
+			for _, u := range frontier {
+				for _, e := range g.adj[u] {
+					if mark[e.To] != epoch {
+						mark[e.To] = epoch
+						next = append(next, e.To)
+					}
 				}
 			}
 		}
 		total += len(next)
-		frontier = next
+		frontier, next = next, frontier
 		sizes = append(sizes, total)
 	}
+	s.front, s.nextFr = frontier, next
 	return sizes
 }
 
@@ -148,6 +233,10 @@ func (g *Graph) Diameter() int64 {
 type distHeap struct {
 	node []int32
 	d    []int64
+}
+
+func newDistHeap(capacity int) *distHeap {
+	return &distHeap{node: make([]int32, 0, capacity), d: make([]int64, 0, capacity)}
 }
 
 func (h *distHeap) Len() int { return len(h.node) }
@@ -203,8 +292,36 @@ func (g *Graph) Dijkstra(src int) []int64 {
 		return dist
 	}
 	dist[src] = 0
-	h := &distHeap{}
+	h := newDistHeap(g.N())
 	h.push(int32(src), 0)
+	g.dijkstraLoop(h, dist, nil)
+	return dist
+}
+
+// dijkstraLoop drains the heap, relaxing edges; when nearest is non-nil
+// it propagates the closest-source index alongside the distances.
+func (g *Graph) dijkstraLoop(h *distHeap, dist []int64, nearest []int) {
+	if c := g.csr; c != nil {
+		for h.Len() > 0 {
+			v, d := h.pop()
+			if d > dist[v] {
+				continue
+			}
+			lo, hi := c.rowStart[v], c.rowStart[v+1]
+			row, rw := c.to[lo:hi], c.w[lo:hi]
+			rw = rw[:len(row)]
+			for j, u := range row {
+				if nd := d + rw[j]; nd < dist[u] {
+					dist[u] = nd
+					if nearest != nil {
+						nearest[u] = nearest[v]
+					}
+					h.push(u, nd)
+				}
+			}
+		}
+		return
+	}
 	for h.Len() > 0 {
 		v, d := h.pop()
 		if d > dist[v] {
@@ -213,11 +330,13 @@ func (g *Graph) Dijkstra(src int) []int64 {
 		for _, e := range g.adj[v] {
 			if nd := d + e.W; nd < dist[e.To] {
 				dist[e.To] = nd
+				if nearest != nil {
+					nearest[e.To] = nearest[v]
+				}
 				h.push(e.To, nd)
 			}
 		}
 	}
-	return dist
 }
 
 // MultiSourceDijkstra returns, for each node, the weighted distance to the
@@ -230,7 +349,7 @@ func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
 		dist[i] = Inf
 		nearest[i] = -1
 	}
-	h := &distHeap{}
+	h := newDistHeap(n)
 	for i, s := range srcs {
 		if s >= 0 && s < n && dist[s] > 0 {
 			dist[s] = 0
@@ -238,19 +357,7 @@ func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
 			h.push(int32(s), 0)
 		}
 	}
-	for h.Len() > 0 {
-		v, d := h.pop()
-		if d > dist[v] {
-			continue
-		}
-		for _, e := range g.adj[v] {
-			if nd := d + e.W; nd < dist[e.To] {
-				dist[e.To] = nd
-				nearest[e.To] = nearest[v]
-				h.push(e.To, nd)
-			}
-		}
-	}
+	g.dijkstraLoop(h, dist, nearest)
 	return dist, nearest
 }
 
@@ -268,26 +375,46 @@ func (g *Graph) HopLimitedDistances(src, h int) []int64 {
 	}
 	cur[src] = 0
 	// frontier-based relaxation: only relax from nodes improved last round.
-	active := []int32{int32(src)}
+	active := make([]int32, 1, n)
+	active[0] = int32(src)
+	next := make([]int32, 0, n)
 	inActive := make([]bool, n)
 	for round := 0; round < h && len(active) > 0; round++ {
-		var next []int32
-		for _, v := range active {
-			inActive[v] = false
-		}
-		for _, v := range active {
-			dv := cur[v]
-			for _, e := range g.adj[v] {
-				if nd := dv + e.W; nd < cur[e.To] {
-					cur[e.To] = nd
-					if !inActive[e.To] {
-						inActive[e.To] = true
-						next = append(next, e.To)
+		next = next[:0]
+		if c := g.csr; c != nil {
+			for _, v := range active {
+				dv := cur[v]
+				lo, hi := c.rowStart[v], c.rowStart[v+1]
+				row, rw := c.to[lo:hi], c.w[lo:hi]
+				rw = rw[:len(row)]
+				for j, u := range row {
+					if nd := dv + rw[j]; nd < cur[u] {
+						cur[u] = nd
+						if !inActive[u] {
+							inActive[u] = true
+							next = append(next, u)
+						}
+					}
+				}
+			}
+		} else {
+			for _, v := range active {
+				dv := cur[v]
+				for _, e := range g.adj[v] {
+					if nd := dv + e.W; nd < cur[e.To] {
+						cur[e.To] = nd
+						if !inActive[e.To] {
+							inActive[e.To] = true
+							next = append(next, e.To)
+						}
 					}
 				}
 			}
 		}
-		active = next
+		for _, v := range next {
+			inActive[v] = false
+		}
+		active, next = next, active
 	}
 	return cur
 }

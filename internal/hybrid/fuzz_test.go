@@ -1,0 +1,135 @@
+package hybrid
+
+// Fuzz target for the SendGlobal schedule builder. The fuzzer decodes
+// an arbitrary byte string into a network size, a capacity
+// configuration, and a message multiset, then checks the two König
+// invariants of koenig_test.go on it:
+//
+//  1. rounds = ⌈Δ/γ⌉ exactly, where Δ is the maximum per-node
+//     send/receive word load (the optimal schedule length), so no
+//     round's schedule can exceed the γ send or receive cap;
+//  2. LoadRounds agrees with SendGlobal on the same load vectors.
+//
+// The seeded corpus below runs in ordinary `go test` mode (CI), so the
+// invariants stay continuously checked; `go test -fuzz=FuzzSendGlobal`
+// explores further.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// decodeMsgs turns fuzz bytes into a message multiset over n nodes.
+// Three bytes per message: sender, receiver, size/teach control.
+func decodeMsgs(data []byte, n int) []Msg {
+	var msgs []Msg
+	for i := 0; i+2 < len(data); i += 3 {
+		m := Msg{From: int(data[i]) % n, To: int(data[i+1]) % n}
+		ctl := data[i+2]
+		if ctl&1 != 0 {
+			m.Size = int(ctl>>1) % 5
+		}
+		if ctl&2 != 0 {
+			for j := 0; j < int(ctl>>4)%3; j++ {
+				m.TeachIDs = append(m.TeachIDs, (int(ctl)+j)%n)
+			}
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+func FuzzSendGlobalSchedule(f *testing.F) {
+	// Seeded corpus: empty, singleton, hotspot sender, hotspot receiver,
+	// multi-word payloads, taught identifiers, and a broad mixed load.
+	f.Add(uint8(4), uint8(1), []byte{})
+	f.Add(uint8(4), uint8(1), []byte{0, 1, 0})
+	f.Add(uint8(8), uint8(2), []byte{3, 0, 0, 3, 1, 0, 3, 2, 0, 3, 4, 0, 3, 5, 0})
+	f.Add(uint8(8), uint8(1), []byte{0, 7, 0, 1, 7, 0, 2, 7, 0, 3, 7, 0, 4, 7, 0})
+	f.Add(uint8(16), uint8(3), []byte{1, 2, 9, 2, 3, 9, 3, 4, 9, 4, 5, 9})
+	f.Add(uint8(16), uint8(1), []byte{1, 2, 0x32, 5, 6, 0x72, 9, 10, 0xF2})
+	f.Add(uint8(32), uint8(4), []byte{
+		0, 1, 0, 1, 2, 3, 2, 3, 5, 31, 30, 7, 30, 29, 1, 12, 12, 0,
+		7, 7, 9, 18, 3, 2, 3, 18, 4, 9, 9, 9, 27, 1, 0, 1, 27, 6,
+	})
+
+	f.Fuzz(func(t *testing.T, nRaw, capRaw uint8, data []byte) {
+		n := 2 + int(nRaw)%62
+		cfg := Config{CapFactor: 1 + int(capRaw)%4}
+		if capRaw&0x80 != 0 {
+			cfg.GlobalWordCap = 1 + int(capRaw)%23
+		}
+		net, err := New(graph.Path(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := net.Cap()
+		msgs := decodeMsgs(data, n)
+
+		// Reference loads, computed independently of the engine.
+		out := make([]int, n)
+		in := make([]int, n)
+		for i := range msgs {
+			words := msgs[i].Size
+			if words <= 0 {
+				words = 1
+			}
+			words += len(msgs[i].TeachIDs)
+			out[msgs[i].From] += words
+			in[msgs[i].To] += words
+		}
+		maxLoad := 0
+		for v := 0; v < n; v++ {
+			if out[v] > maxLoad {
+				maxLoad = out[v]
+			}
+			if in[v] > maxLoad {
+				maxLoad = in[v]
+			}
+		}
+		want := (maxLoad + gamma - 1) / gamma
+
+		got, err := net.SendGlobal("fuzz", msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d γ=%d |msgs|=%d: SendGlobal charged %d rounds, König optimum ⌈%d/%d⌉ = %d",
+				n, gamma, len(msgs), got, maxLoad, gamma, want)
+		}
+		// The cap invariant: the charged schedule must fit every node's
+		// traffic within γ words per round in both directions.
+		if got*gamma < maxLoad {
+			t.Fatalf("n=%d γ=%d: schedule of %d rounds carries only %d words/node < load %d",
+				n, gamma, got, got*gamma, maxLoad)
+		}
+		if total := net.Rounds(); total != got {
+			t.Fatalf("audit total %d != charged %d", total, got)
+		}
+
+		// A second engine must charge the same rounds from the load
+		// vectors alone.
+		net2, err := New(graph.Path(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr := net2.LoadRounds("fuzz-load", out, in); lr != got {
+			t.Fatalf("LoadRounds %d != SendGlobal %d", lr, got)
+		}
+
+		// Determinism: replaying the identical multiset charges
+		// identically (the pooled scratch must have been fully reset).
+		net3, err := New(graph.Path(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again, err := net3.SendGlobal("fuzz-replay", msgs); err != nil || again != got {
+			t.Fatalf("replay: rounds %d err %v, want %d", again, err, got)
+		}
+		// And on the same net (scratch reuse across calls).
+		if again, err := net3.SendGlobal("fuzz-replay", msgs); err != nil || again != got {
+			t.Fatalf("second replay on same net: rounds %d err %v, want %d", again, err, got)
+		}
+	})
+}

@@ -143,6 +143,28 @@ type Net struct {
 	memo  map[string]any
 	// violations counts uses of a disabled communication mode.
 	violations int
+
+	// Pooled per-node scratch for the round schedulers. Invariant: both
+	// vectors are all-zero between calls — SendGlobal and DeliverOneRound
+	// zero exactly the entries they touched before returning, so the
+	// steady-state round loop never reallocates (see DESIGN.md §5).
+	scratchOut []int
+	scratchIn  []int
+	// localLoad is the pooled per-edge load map of SendLocal (λ > 0 only),
+	// cleared — not reallocated — every call.
+	localLoad map[edgeKey]int
+}
+
+type edgeKey struct{ u, v int }
+
+// loadScratch returns the two pooled all-zero per-node scratch vectors.
+// Callers must re-zero every entry they touch before returning.
+func (net *Net) loadScratch() (out, in []int) {
+	if net.scratchOut == nil {
+		net.scratchOut = make([]int, net.n)
+		net.scratchIn = make([]int, net.n)
+	}
+	return net.scratchOut, net.scratchIn
 }
 
 // Memo returns a value cached on this network under key. Algorithms use
@@ -230,9 +252,9 @@ func New(g *graph.Graph, cfg Config) (*Net, error) {
 		for v := 0; v < n; v++ {
 			net.know[v] = bitset.New(n)
 			net.know[v].Add(v)
-			for _, e := range g.Neighbors(v) {
-				net.know[v].Add(int(e.To))
-			}
+			g.ForEachNeighbor(v, func(u int, _ int64) {
+				net.know[v].Add(u)
+			})
 		}
 	}
 	return net, nil
@@ -285,7 +307,9 @@ func (net *Net) RoundsByKind() (simulated, charged int) {
 	return simulated, charged
 }
 
-// Audit returns a copy of the audit trail.
+// Audit returns a copy of the audit trail. Consecutive engine calls
+// that share a phase label and kind are recorded as one merged entry
+// (the steady-state round loop does not grow the trail).
 func (net *Net) Audit() []AuditEntry {
 	return append([]AuditEntry(nil), net.audit...)
 }
@@ -303,6 +327,15 @@ func (net *Net) ResetRounds() {
 func (net *Net) record(phase string, rounds int, kind Kind) {
 	if rounds <= 0 {
 		return
+	}
+	// Coalesce with the previous entry when phase and kind repeat: the
+	// steady-state round loop then never grows the audit slice, and
+	// FormatAudit (which merges by phase and kind anyway) is unchanged.
+	if k := len(net.audit); k > 0 {
+		if last := &net.audit[k-1]; last.Phase == phase && last.Kind == kind {
+			last.Rounds += rounds
+			return
+		}
 	}
 	net.audit = append(net.audit, AuditEntry{Phase: phase, Rounds: rounds, Kind: kind})
 }
@@ -351,8 +384,6 @@ func (net *Net) SendLocal(phase string, msgs []Msg) (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
 	}
-	type edgeKey struct{ u, v int }
-	load := make(map[edgeKey]int)
 	for i := range msgs {
 		m := &msgs[i]
 		if m.From < 0 || m.From >= net.n || m.To < 0 || m.To >= net.n {
@@ -361,21 +392,30 @@ func (net *Net) SendLocal(phase string, msgs []Msg) (int, error) {
 		if !net.g.HasEdge(m.From, m.To) {
 			return 0, fmt.Errorf("hybrid: phase %q: local message between non-adjacent nodes %d and %d", phase, m.From, m.To)
 		}
-		size := m.Size
-		if size <= 0 {
-			size = 1
-		}
-		size += len(m.TeachIDs)
-		k := edgeKey{m.From, m.To}
-		if k.u > k.v {
-			k.u, k.v = k.v, k.u
-		}
-		load[k] += size
 	}
 	rounds := 1
 	if lam := net.cfg.LocalWordCap; lam > 0 {
+		// Per-edge loads matter only under a finite λ; the pooled map is
+		// cleared, not reallocated, between calls.
+		if net.localLoad == nil {
+			net.localLoad = make(map[edgeKey]int, 64)
+		} else {
+			clear(net.localLoad)
+		}
 		maxLoad := 0
-		for _, l := range load {
+		for i := range msgs {
+			m := &msgs[i]
+			size := m.Size
+			if size <= 0 {
+				size = 1
+			}
+			size += len(m.TeachIDs)
+			k := edgeKey{m.From, m.To}
+			if k.u > k.v {
+				k.u, k.v = k.v, k.u
+			}
+			l := net.localLoad[k] + size
+			net.localLoad[k] = l
 			if l > maxLoad {
 				maxLoad = l
 			}
@@ -475,6 +515,9 @@ func (e *ErrUnknownTarget) Error() string {
 // receiver's identifier or an *ErrUnknownTarget is returned (and nothing
 // is charged). Knowledge side effects (sender ID + TeachIDs) are applied
 // on success.
+//
+// The schedule builder runs in O(len(msgs)) time on pooled scratch: in
+// steady state it performs no allocations at all.
 func (net *Net) SendGlobal(phase string, msgs []Msg) (int, error) {
 	if net.cfg.LocalOnly {
 		return 0, &ErrModeDisabled{Mode: "global", Phase: phase}
@@ -482,8 +525,6 @@ func (net *Net) SendGlobal(phase string, msgs []Msg) (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
 	}
-	out := make([]int, net.n)
-	in := make([]int, net.n)
 	for i := range msgs {
 		m := &msgs[i]
 		if m.From < 0 || m.From >= net.n || m.To < 0 || m.To >= net.n {
@@ -492,15 +533,31 @@ func (net *Net) SendGlobal(phase string, msgs []Msg) (int, error) {
 		if net.cfg.Variant == VariantHybrid0 && net.know != nil && !net.know[m.From].Has(m.To) {
 			return 0, &ErrUnknownTarget{From: m.From, To: m.To, Phase: phase}
 		}
+	}
+	out, in := net.loadScratch()
+	maxLoad := 0
+	for i := range msgs {
+		m := &msgs[i]
 		size := m.Size
 		if size <= 0 {
 			size = 1
 		}
 		size += len(m.TeachIDs) // each taught ID occupies one word
 		out[m.From] += size
+		if out[m.From] > maxLoad {
+			maxLoad = out[m.From]
+		}
 		in[m.To] += size
+		if in[m.To] > maxLoad {
+			maxLoad = in[m.To]
+		}
 	}
-	rounds := loadToRounds(out, in, net.gcap)
+	// Restore the all-zero scratch invariant: only touched entries reset.
+	for i := range msgs {
+		out[msgs[i].From] = 0
+		in[msgs[i].To] = 0
+	}
+	rounds := (maxLoad + net.gcap - 1) / net.gcap
 	net.record(phase, rounds, Simulated)
 	net.stats.GlobalMessages += int64(len(msgs))
 	net.stats.GlobalRounds += int64(rounds)
@@ -527,17 +584,16 @@ func (net *Net) DeliverOneRound(phase string, msgs []Msg) (delivered []int, err 
 	if net.cfg.LocalOnly {
 		return nil, &ErrModeDisabled{Mode: "global", Phase: phase}
 	}
-	sendBudget := make([]int, net.n)
-	recvBudget := make([]int, net.n)
-	for i := range sendBudget {
-		sendBudget[i] = net.gcap
-		recvBudget[i] = net.gcap
-	}
 	for i := range msgs {
 		m := &msgs[i]
 		if m.From < 0 || m.From >= net.n || m.To < 0 || m.To >= net.n {
 			return nil, fmt.Errorf("hybrid: phase %q: message endpoint out of range (%d→%d)", phase, m.From, m.To)
 		}
+	}
+	// Pooled used-word counters against the γ budget (all-zero invariant).
+	sendUsed, recvUsed := net.loadScratch()
+	for i := range msgs {
+		m := &msgs[i]
 		if net.cfg.Variant == VariantHybrid0 && net.know != nil && !net.know[m.From].Has(m.To) {
 			continue // unaddressable: silently undeliverable
 		}
@@ -546,11 +602,11 @@ func (net *Net) DeliverOneRound(phase string, msgs []Msg) (delivered []int, err 
 			size = 1
 		}
 		size += len(m.TeachIDs)
-		if sendBudget[m.From] < size || recvBudget[m.To] < size {
+		if sendUsed[m.From]+size > net.gcap || recvUsed[m.To]+size > net.gcap {
 			continue // adversary drops the overflow (Section 1.3)
 		}
-		sendBudget[m.From] -= size
-		recvBudget[m.To] -= size
+		sendUsed[m.From] += size
+		recvUsed[m.To] += size
 		delivered = append(delivered, i)
 		if net.know != nil {
 			net.know[m.To].Add(m.From)
@@ -558,6 +614,10 @@ func (net *Net) DeliverOneRound(phase string, msgs []Msg) (delivered []int, err 
 				net.know[m.To].Add(u)
 			}
 		}
+	}
+	for i := range msgs {
+		sendUsed[msgs[i].From] = 0
+		recvUsed[msgs[i].To] = 0
 	}
 	net.record(phase, 1, Simulated)
 	net.stats.GlobalMessages += int64(len(delivered))

@@ -25,6 +25,20 @@ type Tree struct {
 	// Pos maps a node to its position in Members, or -1.
 	Pos []int
 	net *hybrid.Net
+	// msgs is the pooled per-level message buffer of ConvergeCast and
+	// BroadcastDown, reused (truncated, not reallocated) across levels
+	// and calls. Trees persist on the network via Memo, so in steady
+	// state the Lemma 4.4 aggregation allocates nothing.
+	msgs []hybrid.Msg
+}
+
+// msgScratch returns the pooled level buffer, sized to the widest level.
+func (t *Tree) msgScratch() []hybrid.Msg {
+	if t.msgs == nil {
+		widest := (len(t.Members) + 1) / 2
+		t.msgs = make([]hybrid.Msg, 0, 2*widest)
+	}
+	return t.msgs[:0]
 }
 
 // Build constructs a virtual rooted tree of constant degree and depth
@@ -166,8 +180,9 @@ func (t *Tree) ConvergeCast(phase string, width int) (int, error) {
 	}
 	levels := t.levels()
 	total := 0
+	msgs := t.msgScratch()
 	for li := len(levels) - 1; li >= 1; li-- {
-		msgs := make([]hybrid.Msg, 0, len(levels[li]))
+		msgs = msgs[:0]
 		for _, pos := range levels[li] {
 			child := t.Members[pos]
 			parent := t.Members[(pos-1)/2]
@@ -179,6 +194,7 @@ func (t *Tree) ConvergeCast(phase string, width int) (int, error) {
 		}
 		total += r
 	}
+	t.msgs = msgs[:0]
 	return total, nil
 }
 
@@ -190,14 +206,16 @@ func (t *Tree) BroadcastDown(phase string, width int) (int, error) {
 	}
 	levels := t.levels()
 	total := 0
+	msgs := t.msgScratch()
 	for li := 0; li+1 < len(levels); li++ {
-		var msgs []hybrid.Msg
+		msgs = msgs[:0]
 		for _, pos := range levels[li] {
 			parent := t.Members[pos]
-			for _, cpos := range []int{2*pos + 1, 2*pos + 2} {
-				if cpos < len(t.Members) {
-					msgs = append(msgs, hybrid.Msg{From: parent, To: t.Members[cpos], Size: width})
-				}
+			if l := 2*pos + 1; l < len(t.Members) {
+				msgs = append(msgs, hybrid.Msg{From: parent, To: t.Members[l], Size: width})
+			}
+			if r := 2*pos + 2; r < len(t.Members) {
+				msgs = append(msgs, hybrid.Msg{From: parent, To: t.Members[r], Size: width})
 			}
 		}
 		r, err := t.net.SendGlobal(phase+"/broadcastdown", msgs)
@@ -206,6 +224,7 @@ func (t *Tree) BroadcastDown(phase string, width int) (int, error) {
 		}
 		total += r
 	}
+	t.msgs = msgs[:0]
 	return total, nil
 }
 

@@ -1,0 +1,92 @@
+package runner
+
+// Golden-file tests for the three sinks: a fixed pair of tables must
+// render byte-for-byte identically to the committed testdata/ files, so
+// report formatting cannot drift silently. Regenerate with
+//
+//	go test ./internal/runner -run TestSinkGolden -update
+//
+// after an intentional format change, and review the diff.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTables is the fixed input: two tables with different schemas,
+// machine keys, a note, and cells exercising alignment, unicode, commas
+// (CSV quoting) and quotes (JSON escaping).
+func goldenTables() []*Table {
+	return []*Table{
+		{
+			Name:   "table1",
+			Title:  "Dissemination rounds (γ = ⌈log₂ n⌉)",
+			Header: []string{"family", "n", "rounds", "NQ_k"},
+			Keys:   []string{"family", "n", "rounds", "nq"},
+			Rows: [][]string{
+				{"path", "576", "1234", "24"},
+				{"grid2d", "576", "98", "12"},
+				{"ring,of,cliques", "576", "42", "7"},
+			},
+			Note: "Universally optimal up to eÕ(1) factors.\n",
+		},
+		{
+			Name:   "figure1/path",
+			Header: []string{"β", `rounds "charged"`},
+			Rows: [][]string{
+				{"0.5", "17"},
+				{"1", "3"},
+			},
+		},
+	}
+}
+
+func render(t *testing.T, mk func(*bytes.Buffer) Sink) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := mk(&buf)
+	for _, table := range goldenTables() {
+		if err := WriteTable(sink, table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestSinkGolden(t *testing.T) {
+	cases := []struct {
+		file string
+		mk   func(*bytes.Buffer) Sink
+	}{
+		{"golden.md", func(b *bytes.Buffer) Sink { return &MarkdownSink{W: b} }},
+		{"golden.csv", func(b *bytes.Buffer) Sink { return NewCSVSink(b) }},
+		{"golden.jsonl", func(b *bytes.Buffer) Sink { return NewJSONLSink(b) }},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			got := render(t, c.mk)
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", c.file, got, want)
+			}
+		})
+	}
+}

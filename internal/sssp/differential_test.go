@@ -1,0 +1,83 @@
+package sssp_test
+
+// Differential-oracle suite for the SSSP substrates: on every family in
+// the default sweep set, two sizes, three seeds, the HYBRID algorithms
+// are checked against the independent sequential oracle
+// (internal/oracle). Runs clean under -race.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/oracle"
+	"repro/internal/sssp"
+)
+
+// TestApproxAgainstOracle: Theorem 13 estimates must satisfy
+// d ≤ d̃ ≤ (1+ε)·d against the oracle's Dijkstra on weighted builds of
+// every family.
+func TestApproxAgainstOracle(t *testing.T) {
+	const eps = 0.25
+	for _, f := range graph.Families() {
+		for _, n := range []int{24, 48} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g, err := graph.Build(f, n, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+				wg := graph.RandomWeights(g, 30, rand.New(rand.NewSource(seed+100)))
+				net, err := hybrid.New(wg, hybrid.Config{Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+				src := int(seed) % wg.N()
+				est, err := sssp.Approx(net, src, eps)
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: Approx: %v", f, n, seed, err)
+				}
+				exact := oracle.Dijkstra(wg, src)
+				if err := sssp.VerifyStretch(exact, est, 1+eps); err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestExactBFSAgainstOracle: the engine-driven distributed BFS must
+// reproduce the oracle's hop distances exactly on every family, and its
+// round count must be bounded below by the source eccentricity.
+func TestExactBFSAgainstOracle(t *testing.T) {
+	for _, f := range graph.Families() {
+		for _, n := range []int{24, 48} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g, err := graph.Build(f, n, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+				net, err := hybrid.New(g, hybrid.Config{Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: %v", f, n, seed, err)
+				}
+				src := (int(seed) * 7) % g.N()
+				dist, err := sssp.ExactBFS(net, src)
+				if err != nil {
+					t.Fatalf("%s/n=%d/seed=%d: ExactBFS: %v", f, n, seed, err)
+				}
+				want := oracle.BFS(g, src)
+				for v := range want {
+					if dist[v] != want[v] {
+						t.Fatalf("%s/n=%d/seed=%d: node %d: ExactBFS %d, oracle %d",
+							f, n, seed, v, dist[v], want[v])
+					}
+				}
+				if ecc := oracle.Eccentricities(g)[src]; int64(net.Rounds()) < ecc {
+					t.Fatalf("%s/n=%d/seed=%d: %d rounds beat the eccentricity %d",
+						f, n, seed, net.Rounds(), ecc)
+				}
+			}
+		}
+	}
+}

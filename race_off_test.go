@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under -race because instrumentation allocates.
+const raceEnabled = false
