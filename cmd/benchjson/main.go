@@ -17,7 +17,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -25,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/cliutil"
 	"repro/internal/runner"
 )
 
@@ -36,10 +36,17 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet(w, "benchjson",
+		"Render `go test -bench` output as JSONL through the runner sink, optionally joined against a baseline.",
+		"go test -run '^$' -bench BenchmarkCore . | benchjson",
+		"benchjson -baseline BENCH_core.json -current bench.txt > BENCH_core_run.json",
+	)
 	baselinePath := fs.String("baseline", "", "baseline measurement (bench text or benchjson JSONL); optional")
 	currentPath := fs.String("current", "", "current measurement (bench text); default stdin")
 	if err := fs.Parse(args); err != nil {
+		if cliutil.HelpRequested(err) {
+			return nil
+		}
 		return err
 	}
 

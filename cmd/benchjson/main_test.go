@@ -84,3 +84,16 @@ func TestBenchjsonErrorsOnEmptyInput(t *testing.T) {
 		t.Fatal("expected error on input without bench lines")
 	}
 }
+
+// TestUsageShape pins the shared cliutil -h format every binary emits.
+func TestUsageShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	for _, want := range []string{"Usage: benchjson [flags]", "Flags:", "Examples:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, buf.String())
+		}
+	}
+}

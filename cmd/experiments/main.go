@@ -16,13 +16,12 @@
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 )
@@ -35,7 +34,16 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet(w, "experiments",
+		"Regenerate the paper's tables and figures by sweeping the registered scenarios on a parallel runner.",
+		"experiments                        # everything at the default scale",
+		"experiments -table 1 -n 1024",
+		"experiments -figure 1",
+		"experiments -nq                    # Theorem 15/16 scaling tables",
+		"experiments -parallel 8            # worker-pool size (0 = GOMAXPROCS)",
+		"experiments -families path,grid2d  # restrict the family axis",
+		"experiments -format jsonl          # md (default), csv or jsonl",
+	)
 	table := fs.Int("table", 0, "regenerate one table (1-4); 0 = all")
 	figure := fs.Int("figure", 0, "regenerate figure 1")
 	nqOnly := fs.Bool("nq", false, "only the NQ scaling tables")
@@ -45,7 +53,7 @@ func run(args []string, w io.Writer) error {
 	families := fs.String("families", "", "comma-separated graph families (default: all; figure 1 defaults to path,grid2d and the NQ section intersects with its four theorem families)")
 	format := fs.String("format", "md", "output format: md, csv or jsonl")
 	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
+		if cliutil.HelpRequested(err) {
 			return nil
 		}
 		return err

@@ -102,3 +102,16 @@ func TestParseFamilies(t *testing.T) {
 		t.Fatalf("fams=%v", fams)
 	}
 }
+
+// TestUsageShape pins the shared cliutil -h format every binary emits.
+func TestUsageShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	for _, want := range []string{"Usage: experiments [flags]", "Flags:", "Examples:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command hybridd serves the experiment harness over HTTP: a
+// long-running sweep service (stdlib net/http only) over the scenario
+// registry of internal/experiments, backed by the content-addressed
+// result cache of internal/resultcache, so repeated sweep cells are
+// answered without re-simulation (DESIGN.md §7).
+//
+// Endpoints:
+//
+//	GET  /v1/scenarios            list the registered scenarios
+//	POST /v1/sweeps               submit {"scenario","families","n","seed"}
+//	GET  /v1/sweeps/{id}          poll a sweep's status
+//	GET  /v1/sweeps/{id}/results  stream results (?format=md|csv|jsonl)
+//	GET  /v1/cache/stats          result-cache counters
+//
+// Sweeps are content-addressed: submitting an identical request returns
+// the already-finished sweep, and `"fresh": true` re-executes through
+// the cell cache instead. SIGINT/SIGTERM shut down gracefully, draining
+// in-flight sweeps.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/hybridnet"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is cancelled (or the
+// listener fails). It prints one "listening on ADDR" line to w before
+// serving, so callers binding port 0 can discover the address.
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := cliutil.NewFlagSet(w, "hybridd",
+		"Serve the scenario-sweep harness over HTTP with a content-addressed result cache.",
+		"hybridd -addr 127.0.0.1:8080",
+		"hybridd -cache-dir /var/lib/hybridd   # persist results across restarts",
+		`curl localhost:8080/v1/scenarios`,
+		`curl -X POST localhost:8080/v1/sweeps -d '{"scenario":"table1","families":["path","grid2d"],"n":256}'`,
+	)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "shared sweep worker-pool size (0 = GOMAXPROCS)")
+	cacheMB := fs.Int("cache-mb", 64, "in-memory result-cache budget in MiB (negative disables caching)")
+	cacheDir := fs.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
+	if err := fs.Parse(args); err != nil {
+		if cliutil.HelpRequested(err) {
+			return nil
+		}
+		return err
+	}
+
+	srv, err := hybridnet.NewServer(hybridnet.ServerConfig{
+		Workers:    *workers,
+		CacheBytes: int64(*cacheMB) << 20,
+		CacheDir:   *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(w, "hybridd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight
+	// requests finish, then drain the sweep pool and the cache.
+	fmt.Fprintf(w, "hybridd: shutting down\n")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+		return err
+	}
+	return srv.Close()
+}

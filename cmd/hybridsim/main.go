@@ -10,14 +10,13 @@
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
 	"repro/hybridnet"
+	"repro/internal/cliutil"
 	"repro/internal/graph"
 )
 
@@ -29,7 +28,12 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet(w, "hybridsim",
+		"Run one algorithm of the library on one graph family and print the full per-phase round audit.",
+		"hybridsim -algo disseminate -family grid2d -n 1024 -k 1024",
+		"hybridsim -algo route -family path -n 512 -k 256 -l 4",
+		"hybridsim -algo sssp -family expander -n 1024 -eps 0.25",
+	)
 	algo := fs.String("algo", "disseminate", "disseminate|aggregate|route|bcc|sssp|kssp|apsp-unweighted|apsp-sparse|apsp-spanner|apsp-skeleton|klsp|cuts")
 	family := fs.String("family", "grid2d", "graph family")
 	n := fs.Int("n", 1024, "approximate node count")
@@ -39,7 +43,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	hybrid0 := fs.Bool("hybrid0", false, "use the HYBRID0 variant")
 	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
+		if cliutil.HelpRequested(err) {
 			return nil
 		}
 		return err

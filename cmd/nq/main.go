@@ -11,14 +11,13 @@
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/nq"
@@ -32,12 +31,16 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("nq", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet(w, "nq",
+		"Compute the neighborhood quality NQ_k (Definition 3.1) and the Theorem 15/16 scaling tables.",
+		"nq -n 1024 -k 16,64,256,1024       # the Appendix B family sweep",
+		"nq -family grid2d -n 4096          # one family, measured NQ_k per k",
+	)
 	n := fs.Int("n", 1024, "approximate number of nodes")
 	ks := fs.String("k", "16,64,256,1024", "comma-separated workloads k")
 	family := fs.String("family", "", "single family (default: Theorem 15/16 sweep)")
 	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
+		if cliutil.HelpRequested(err) {
 			return nil
 		}
 		return err

@@ -33,3 +33,16 @@ func TestRunBadK(t *testing.T) {
 		t.Fatal("bad k list accepted")
 	}
 }
+
+// TestUsageShape pins the shared cliutil -h format every binary emits.
+func TestUsageShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	for _, want := range []string{"Usage: nq [flags]", "Flags:", "Examples:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, buf.String())
+		}
+	}
+}

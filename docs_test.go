@@ -1,0 +1,127 @@
+package repro_test
+
+// The documentation gates of the CI docs job.
+//
+// TestDocsPackageComments enforces the "go doc as a map of the paper"
+// invariant: every package (internal/*, hybridnet, cmd/*) must carry a
+// package-level doc comment, and every library package's comment must
+// anchor itself to the reproduction — a paper reference (Theorem,
+// Lemma, Section, Definition, …) or a DESIGN.md pointer.
+//
+// TestDocsMarkdownLinks keeps the top-level markdown honest: every
+// relative link must resolve to a file or directory in the repository.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// packageDirs lists every directory that must carry a documented Go
+// package.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"hybridnet"}
+	for _, glob := range []string{"internal/*", "cmd/*"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if st, err := os.Stat(m); err == nil && st.IsDir() {
+				dirs = append(dirs, m)
+			}
+		}
+	}
+	return dirs
+}
+
+// packageDoc returns the package doc comment of the (non-test) package
+// in dir, joined across files if several carry one.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("parsing %s/%s: %v", dir, name, err)
+		}
+		if f.Doc != nil {
+			docs = append(docs, f.Doc.Text())
+		}
+	}
+	return strings.Join(docs, "\n")
+}
+
+// paperAnchor matches the references a library package's doc comment
+// must carry to serve as a map of the paper.
+var paperAnchor = regexp.MustCompile(
+	`Theorem|Lemma|Section|Definition|Corollary|Algorithm|Appendix|DESIGN\.md|PODC|HYBRID|paper`)
+
+func TestDocsPackageComments(t *testing.T) {
+	for _, dir := range packageDirs(t) {
+		doc := packageDoc(t, dir)
+		if strings.TrimSpace(doc) == "" {
+			t.Errorf("%s: missing package doc comment (add one to the main file or a doc.go)", dir)
+			continue
+		}
+		if len(strings.TrimSpace(doc)) < 60 {
+			t.Errorf("%s: package doc comment is too thin to document anything:\n%s", dir, doc)
+		}
+		// cmd/* binaries document usage; the anchor requirement applies
+		// to the library packages that reproduce the paper.
+		if strings.HasPrefix(dir, "cmd/") {
+			continue
+		}
+		if !paperAnchor.MatchString(doc) {
+			t.Errorf("%s: package doc comment cites no paper section/lemma or DESIGN.md anchor:\n%s", dir, doc)
+		}
+	}
+}
+
+// markdownLink matches [text](target) links, excluding images.
+var markdownLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocsMarkdownLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files at the repository root")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external links and intra-document anchors
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}

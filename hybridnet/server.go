@@ -1,0 +1,505 @@
+package hybridnet
+
+// The sweep service (DESIGN.md §7): a long-running server over the
+// scenario registry of internal/experiments, with a shared fair
+// worker pool (runner.Pool) as the batching admission layer and a
+// content-addressed result cache (internal/resultcache) underneath, so
+// repeated cells — the common case across tables sharing graph
+// families — are served without re-simulation. cmd/hybridd is the
+// stdlib net/http binary over Handler; everything here is equally
+// usable in-process (NewServer / Submit / Wait / WriteResults).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/resultcache"
+	"repro/internal/runner"
+)
+
+// ScenarioInfo describes one sweepable artifact of the scenario
+// registry, as listed by GET /v1/scenarios.
+type ScenarioInfo = experiments.Artifact
+
+// CacheStats is a snapshot of the server's result-cache counters
+// (hits, misses, evictions, disk tiers, footprint).
+type CacheStats = resultcache.Stats
+
+// Sweep-lifecycle errors.
+var (
+	// ErrUnknownSweep: no sweep with that id was submitted.
+	ErrUnknownSweep = errors.New("hybridnet: unknown sweep")
+	// ErrSweepRunning: results were requested before the sweep finished.
+	ErrSweepRunning = errors.New("hybridnet: sweep still running")
+	// ErrServerClosed: the server no longer admits sweeps.
+	ErrServerClosed = errors.New("hybridnet: server closed")
+)
+
+// Sweep states reported by SweepStatus.State.
+const (
+	SweepRunning = "running"
+	SweepDone    = "done"
+	SweepFailed  = "failed"
+)
+
+// ServerConfig parameterizes a sweep server. The zero value is usable:
+// GOMAXPROCS workers, a DefaultMaxBytes in-memory cache, no disk tier.
+type ServerConfig struct {
+	// Workers sizes the shared worker pool every sweep's cells are
+	// scheduled on (≤ 0 means GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds the in-memory result-cache tier; 0 means
+	// resultcache.DefaultMaxBytes, negative disables caching entirely.
+	CacheBytes int64
+	// CacheDir, when non-empty, adds the persistent disk tier: results
+	// survive restarts and are served from disk after eviction.
+	CacheDir string
+	// Version overrides the code-version component of every content
+	// address (default runner.CodeVersion). Two servers sharing a
+	// CacheDir must agree on it.
+	Version string
+}
+
+// SweepRequest is a sweep submission: one registered scenario swept
+// over a family axis at one instance size and seed. Zero N and Seed
+// take the report defaults (n = 576, seed = 1); an empty Families list
+// selects the scenario's default axis.
+type SweepRequest struct {
+	Scenario string   `json:"scenario"`
+	Families []string `json:"families,omitempty"`
+	N        int      `json:"n,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+	// Fresh forces re-execution when a *finished* sweep with the same
+	// content address exists (a still-running one is joined instead of
+	// duplicated). Cells still resolve through the result cache, so a
+	// fresh resubmission re-renders from cache hits rather than
+	// re-simulating.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// SweepStatus is the externally visible state of one sweep.
+type SweepStatus struct {
+	// ID is the sweep's content address (runner.SweepID): identical
+	// requests map to identical ids.
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	// State is SweepRunning, SweepDone, or SweepFailed.
+	State string `json:"state"`
+	// Cells counts grid cells resolved so far; CachedCells is the
+	// subset served from the result cache without touching the pool.
+	Cells       int `json:"cells"`
+	CachedCells int `json:"cached_cells"`
+	// Reused reports (on Submit only) that a finished or in-flight
+	// sweep with the same content address was returned instead of
+	// starting a new run.
+	Reused bool `json:"reused,omitempty"`
+	// Error carries the failure when State is SweepFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// sweep is the server-side state of one submission.
+type sweep struct {
+	id  string
+	req SweepRequest
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	tables []*runner.Table
+	cells  int
+	cached int
+
+	done chan struct{}
+}
+
+func (sw *sweep) status() SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return SweepStatus{
+		ID:          sw.id,
+		Scenario:    sw.req.Scenario,
+		State:       sw.state,
+		Cells:       sw.cells,
+		CachedCells: sw.cached,
+		Error:       sw.errMsg,
+	}
+}
+
+// Server is the sweep service: it owns the shared worker pool, the
+// result cache, and the sweep store. Create with NewServer; always
+// Close (it drains in-flight sweeps and releases the cache).
+type Server struct {
+	pool    *runner.Pool
+	cache   *resultcache.Cache
+	version string
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep
+	closed bool
+	wg     sync.WaitGroup // in-flight sweep goroutines
+}
+
+// NewServer starts the shared pool and opens the result cache.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	s := &Server{
+		version: cfg.Version,
+		sweeps:  make(map[string]*sweep),
+	}
+	if s.version == "" {
+		s.version = runner.CodeVersion
+	}
+	if cfg.CacheBytes >= 0 {
+		if cfg.CacheDir != "" {
+			cache, err := resultcache.NewWithDisk(cfg.CacheBytes, cfg.CacheDir)
+			if err != nil {
+				return nil, fmt.Errorf("hybridnet: opening cache dir: %w", err)
+			}
+			s.cache = cache
+		} else {
+			s.cache = resultcache.New(cfg.CacheBytes)
+		}
+	}
+	s.pool = runner.NewPool(cfg.Workers)
+	return s, nil
+}
+
+// Close stops admission, waits for every in-flight sweep to drain
+// through the pool, then closes the pool and the cache. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+	if s.cache != nil {
+		return s.cache.Close()
+	}
+	return nil
+}
+
+// Scenarios lists the registered artifacts in canonical report order.
+func (s *Server) Scenarios() []ScenarioInfo { return experiments.Artifacts() }
+
+// CacheStats snapshots the result cache (zero Stats when caching is
+// disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// Version returns the code-version component of the server's content
+// addresses.
+func (s *Server) Version() string { return s.version }
+
+// normalize validates the request and fills in the canonical defaults,
+// so that equivalent requests share one content address.
+func (s *Server) normalize(req *SweepRequest) ([]graph.Family, error) {
+	found := false
+	for _, a := range experiments.Artifacts() {
+		if a.Name == req.Scenario {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown scenario %q", req.Scenario)
+	}
+	known := make(map[graph.Family]bool)
+	for _, f := range graph.Families() {
+		known[f] = true
+	}
+	fams := make([]graph.Family, 0, len(req.Families))
+	for _, name := range req.Families {
+		f := graph.Family(name)
+		if !known[f] {
+			return nil, fmt.Errorf("unknown family %q (known: %v)", name, graph.Families())
+		}
+		fams = append(fams, f)
+	}
+	if req.N < 0 || req.N > 1<<20 {
+		return nil, fmt.Errorf("n %d out of range", req.N)
+	}
+	if req.N == 0 {
+		req.N = experiments.DefaultN
+	}
+	if req.Seed == 0 {
+		req.Seed = experiments.DefaultSeed
+	}
+	return fams, nil
+}
+
+// Submit admits one sweep. Submission is content-addressed: a request
+// identical to an earlier one returns the existing sweep (Reused set)
+// unless Fresh forces a re-run — which still serves repeated cells
+// from the result cache. Submit never blocks on simulation; poll
+// Status or block on Wait.
+func (s *Server) Submit(req SweepRequest) (SweepStatus, error) {
+	fams, err := s.normalize(&req)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	id := runner.SweepID(s.version, req.Scenario, fams, req.N, req.Seed)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SweepStatus{}, ErrServerClosed
+	}
+	if existing, ok := s.sweeps[id]; ok {
+		// Reuse unless Fresh asks for a re-run — and even then a sweep
+		// still in flight is joined, never duplicated: replacing it
+		// would orphan its waiters and double the simulation.
+		existing.mu.Lock()
+		running := existing.state == SweepRunning
+		existing.mu.Unlock()
+		if running || !req.Fresh {
+			s.mu.Unlock()
+			st := existing.status()
+			st.Reused = true
+			return st, nil
+		}
+	}
+	sw := &sweep{id: id, req: req, state: SweepRunning, done: make(chan struct{})}
+	s.sweeps[id] = sw
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runSweep(sw, fams)
+	return sw.status(), nil
+}
+
+func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
+	defer s.wg.Done()
+	cfg := experiments.ReportConfig{N: sw.req.N, Seed: sw.req.Seed, Families: fams}
+	r := &runner.Runner{
+		Pool:         s.pool,
+		CacheVersion: s.version,
+		Observer: func(ev runner.CellEvent) {
+			sw.mu.Lock()
+			sw.cells++
+			if ev.Cached {
+				sw.cached++
+			}
+			sw.mu.Unlock()
+		},
+	}
+	if s.cache != nil {
+		r.Cache = s.cache
+	}
+	tables, err := experiments.Generate(sw.req.Scenario, cfg, r)
+	sw.mu.Lock()
+	if err != nil {
+		sw.state = SweepFailed
+		sw.errMsg = err.Error()
+	} else {
+		sw.state = SweepDone
+		sw.tables = tables
+	}
+	sw.mu.Unlock()
+	close(sw.done)
+}
+
+func (s *Server) sweep(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// Status reports a sweep's current state.
+func (s *Server) Status(id string) (SweepStatus, error) {
+	sw, ok := s.sweep(id)
+	if !ok {
+		return SweepStatus{}, ErrUnknownSweep
+	}
+	return sw.status(), nil
+}
+
+// Wait blocks until the sweep finishes and returns its final status.
+func (s *Server) Wait(id string) (SweepStatus, error) {
+	sw, ok := s.sweep(id)
+	if !ok {
+		return SweepStatus{}, ErrUnknownSweep
+	}
+	<-sw.done
+	return sw.status(), nil
+}
+
+// WriteResults streams a finished sweep's tables into w in the given
+// format ("md", "csv", or "jsonl"; empty means markdown) through the
+// runner sinks — the same rendering path as cmd/experiments, so cached
+// and fresh sweeps are byte-identical. Returns ErrSweepRunning while
+// the sweep is in flight and the sweep's own error after a failure.
+func (s *Server) WriteResults(w io.Writer, id, format string) error {
+	sw, ok := s.sweep(id)
+	if !ok {
+		return ErrUnknownSweep
+	}
+	return sw.writeResults(w, format)
+}
+
+// writeResults renders this sweep's tables; sweep state only moves
+// forward (running → done/failed), so a caller that already observed
+// done cannot race back into ErrSweepRunning here.
+func (sw *sweep) writeResults(w io.Writer, format string) error {
+	sw.mu.Lock()
+	state, errMsg, tables := sw.state, sw.errMsg, sw.tables
+	sw.mu.Unlock()
+	switch state {
+	case SweepRunning:
+		return ErrSweepRunning
+	case SweepFailed:
+		return fmt.Errorf("hybridnet: sweep failed: %s", errMsg)
+	}
+	sink, err := (&experiments.ReportConfig{Format: format}).NewSink(w)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := runner.WriteTable(sink, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP surface of the service:
+//
+//	GET  /v1/scenarios            — list the scenario registry
+//	POST /v1/sweeps               — submit a SweepRequest (JSON body)
+//	GET  /v1/sweeps/{id}          — poll one sweep's status
+//	GET  /v1/sweeps/{id}/results  — stream results (?format=md|csv|jsonl)
+//	GET  /v1/cache/stats          — result-cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// scenariosResponse is the GET /v1/scenarios document.
+type scenariosResponse struct {
+	Scenarios []ScenarioInfo `json:"scenarios"`
+	Families  []string       `json:"families"`
+	Defaults  map[string]any `json:"defaults"`
+	Version   string         `json:"version"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	fams := graph.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = string(f)
+	}
+	writeJSON(w, http.StatusOK, scenariosResponse{
+		Scenarios: s.Scenarios(),
+		Families:  names,
+		Defaults:  map[string]any{"n": experiments.DefaultN, "seed": experiments.DefaultSeed},
+		Version:   s.version,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrServerClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultContentTypes maps formats to their media types.
+var resultContentTypes = map[string]string{
+	"":      "text/markdown; charset=utf-8",
+	"md":    "text/markdown; charset=utf-8",
+	"csv":   "text/csv; charset=utf-8",
+	"jsonl": "application/x-ndjson",
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	ct, ok := resultContentTypes[format]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want md, csv or jsonl)", format))
+		return
+	}
+	sw, found := s.sweep(id)
+	if !found {
+		writeError(w, http.StatusNotFound, ErrUnknownSweep)
+		return
+	}
+	sw.mu.Lock()
+	state, errMsg := sw.state, sw.errMsg
+	sw.mu.Unlock()
+	switch state {
+	case SweepRunning:
+		writeError(w, http.StatusConflict, ErrSweepRunning)
+		return
+	case SweepFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("sweep failed: %s", errMsg))
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	// Rendering the same sweep object that was checked above: state
+	// only moves forward, so the remaining failure mode is a write
+	// error on an already-streaming response, which HTTP cannot
+	// surface other than by aborting the body.
+	_ = sw.writeResults(w, format)
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.CacheStats())
+}

@@ -1,5 +1,8 @@
 // Package bitset provides a minimal fixed-size bitset used for per-node
-// identifier-knowledge tracking in the HYBRID₀ engine.
+// identifier-knowledge tracking in the HYBRID₀ engine: under the
+// Section 1.3 identifier regime a node may address global messages only
+// to identifiers it has learned, and internal/hybrid records that
+// knowledge as one bitset per node (Config.TrackKnowledge).
 package bitset
 
 import "math/bits"

@@ -1,0 +1,53 @@
+// Package cliutil holds the shared command-line conventions of the
+// repro binaries (cmd/experiments, cmd/hybridsim, cmd/nq,
+// cmd/benchjson, cmd/hybridd — the entry points to the paper's
+// reproduction harness): one usage-text generator, so every binary's
+// -h output has the same Usage / Flags / Examples shape instead of
+// drifting per command.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NewFlagSet returns a ContinueOnError flag set writing to w, with the
+// uniform usage text installed: a "Usage:" line, the synopsis, the
+// flag table, and the example invocations.
+//
+// Callers should pass Parse errors through HelpRequested to turn -h
+// into a clean exit.
+func NewFlagSet(w io.Writer, name, synopsis string, examples ...string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(w)
+	SetUsage(fs, synopsis, examples...)
+	return fs
+}
+
+// SetUsage installs the uniform usage text on an existing flag set.
+// The synopsis may span several lines; each is indented uniformly.
+func SetUsage(fs *flag.FlagSet, synopsis string, examples ...string) {
+	fs.Usage = func() {
+		w := fs.Output()
+		fmt.Fprintf(w, "Usage: %s [flags]\n\n", fs.Name())
+		for _, line := range strings.Split(strings.TrimSpace(synopsis), "\n") {
+			fmt.Fprintf(w, "  %s\n", strings.TrimSpace(line))
+		}
+		fmt.Fprintf(w, "\nFlags:\n")
+		fs.PrintDefaults()
+		if len(examples) > 0 {
+			fmt.Fprintf(w, "\nExamples:\n")
+			for _, ex := range examples {
+				fmt.Fprintf(w, "  %s\n", ex)
+			}
+		}
+	}
+}
+
+// HelpRequested reports whether a flag.Parse error was the built-in -h
+// /-help flag, which the uniform convention treats as a successful,
+// usage-printing exit rather than a failure.
+func HelpRequested(err error) bool { return errors.Is(err, flag.ErrHelp) }

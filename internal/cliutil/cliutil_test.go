@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestUsageShape(t *testing.T) {
+	var buf bytes.Buffer
+	fs := NewFlagSet(&buf, "demo", "One-line synopsis.\nSecond line.", "demo -x 1", "demo -y 2")
+	fs.Int("x", 0, "the x")
+	err := fs.Parse([]string{"-h"})
+	if !HelpRequested(err) {
+		t.Fatalf("-h parse error = %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Usage: demo [flags]",
+		"  One-line synopsis.",
+		"  Second line.",
+		"Flags:",
+		"-x int",
+		"Examples:",
+		"  demo -x 1",
+		"  demo -y 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	// Sections must appear in canonical order.
+	if iu, ifl, ie := strings.Index(out, "Usage:"), strings.Index(out, "Flags:"), strings.Index(out, "Examples:"); !(iu < ifl && ifl < ie) {
+		t.Errorf("sections out of order:\n%s", out)
+	}
+}
+
+func TestHelpRequestedOnlyForHelp(t *testing.T) {
+	if HelpRequested(errors.New("boom")) {
+		t.Error("arbitrary error classified as help")
+	}
+	var buf bytes.Buffer
+	fs := NewFlagSet(&buf, "demo", "s")
+	if err := fs.Parse([]string{"-nosuch"}); err == nil || HelpRequested(err) {
+		t.Errorf("undefined flag error misclassified: %v", err)
+	}
+}

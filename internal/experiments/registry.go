@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 	"repro/internal/runner"
 )
@@ -11,12 +13,96 @@ import (
 // registry rather than from hand-rolled loops.
 type generator func(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error)
 
-// tableGenerators maps the numbered paper tables to their generators.
-var tableGenerators = map[int]generator{
-	1: genTable1,
-	2: genTable2,
-	3: genTable3,
-	4: genTable4,
+// Artifact describes one registered report artifact — the unit a sweep
+// request addresses. The registry is the introspection surface of the
+// harness: the sweep service lists it verbatim on GET /v1/scenarios.
+type Artifact struct {
+	// Name is the stable machine key ("table1", …, "figure1", "nq").
+	Name string `json:"name"`
+	// Title is the human heading.
+	Title string `json:"title"`
+	// Summary states what the artifact reproduces, with the paper
+	// references.
+	Summary string `json:"summary"`
+}
+
+// registry lists every artifact in canonical report order (the order
+// WriteReport emits when everything is selected: the NQ analysis first,
+// then tables 1–4, then figure 1).
+var registry = []struct {
+	Artifact
+	gen generator
+}{
+	{Artifact{
+		Name:    "nq",
+		Title:   "NQ_k scaling (Theorems 15/16)",
+		Summary: "Measured neighborhood quality NQ_k against the predicted Θ(k^{1/(d+1)}) on the Appendix B grid families.",
+	}, genNQ},
+	{Artifact{
+		Name:    "table1",
+		Title:   "Table 1 — information dissemination",
+		Summary: "k-dissemination, k-aggregation and (k,ℓ)-routing (Theorems 1–3) versus [AHK+20]/[KS20] and the Theorem 4 lower bound.",
+	}, genTable1},
+	{Artifact{
+		Name:    "table2",
+		Title:   "Table 2 — all-pairs shortest paths",
+		Summary: "The APSP family (Theorems 6–9, Corollary 2.2) versus the eΘ(√n) worst-case prior work.",
+	}, genTable2},
+	{Artifact{
+		Name:    "table3",
+		Title:   "Table 3 — (k,ℓ)-source shortest paths",
+		Summary: "(1+ε)-approximate (k,ℓ)-SP (Theorem 5) versus the eΩ(√k) existential bound.",
+	}, genTable3},
+	{Artifact{
+		Name:    "table4",
+		Title:   "Table 4 — single-source shortest paths",
+		Summary: "(1+ε)-approximate SSSP (Theorem 13) versus eÕ(√n), eÕ(n^{5/17}) and eÕ(n^ε) prior work.",
+	}, genTable4},
+	{Artifact{
+		Name:    "figure1",
+		Title:   "Figure 1 — the k-SSP complexity landscape",
+		Summary: "Round complexity of k-source shortest paths across k = n^β (Theorem 14), worst-case path versus grid.",
+	}, genFigure1},
+}
+
+// Artifacts returns the registered report artifacts in canonical
+// report order.
+func Artifacts() []Artifact {
+	out := make([]Artifact, len(registry))
+	for i, reg := range registry {
+		out[i] = reg.Artifact
+	}
+	return out
+}
+
+// Generate sweeps one registered artifact by name on r and returns its
+// rendered tables. The ReportConfig axes (N, Seed, Families, defaults
+// applied as in WriteReport) select the grid; Tables/Figure1/NQ are
+// ignored — the name already addresses the artifact.
+func Generate(name string, cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	cfg.defaults()
+	if gen, ok := lookup(name); ok {
+		return gen(cfg, r)
+	}
+	return nil, fmt.Errorf("experiments: unknown scenario %q (registered: %v)", name, artifactNames())
+}
+
+func artifactNames() []string {
+	names := make([]string, len(registry))
+	for i, reg := range registry {
+		names[i] = reg.Name
+	}
+	return names
+}
+
+// lookup resolves a registered artifact's generator by name.
+func lookup(name string) (generator, bool) {
+	for _, reg := range registry {
+		if reg.Name == name {
+			return reg.gen, true
+		}
+	}
+	return nil, false
 }
 
 func genNQ(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+)
+
+// TestArtifactsRegistry pins the introspection surface the sweep
+// service lists: canonical order, stable names, non-empty descriptions.
+func TestArtifactsRegistry(t *testing.T) {
+	arts := Artifacts()
+	wantNames := []string{"nq", "table1", "table2", "table3", "table4", "figure1"}
+	if len(arts) != len(wantNames) {
+		t.Fatalf("registry has %d artifacts, want %d", len(arts), len(wantNames))
+	}
+	for i, a := range arts {
+		if a.Name != wantNames[i] {
+			t.Errorf("artifact %d = %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Title == "" || a.Summary == "" {
+			t.Errorf("artifact %q lacks title or summary", a.Name)
+		}
+	}
+}
+
+// TestGenerateByName checks that Generate resolves names, applies
+// defaults, and produces the same table bytes as the WriteReport path.
+func TestGenerateByName(t *testing.T) {
+	cfg := ReportConfig{N: 64, Families: []graph.Family{graph.FamilyPath}}
+	tables, err := Generate("nq", cfg, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("Generate(nq) returned %d tables", len(tables))
+	}
+
+	var direct bytes.Buffer
+	sink := &runner.MarkdownSink{W: &direct}
+	for _, tb := range tables {
+		if err := runner.WriteTable(sink, tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var report bytes.Buffer
+	if err := WriteReport(&report, ReportConfig{N: 64, Families: []graph.Family{graph.FamilyPath}, NQ: true, Tables: []int{}}); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != report.String() {
+		t.Fatalf("Generate and WriteReport disagree:\n%s\nvs\n%s", direct.String(), report.String())
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	_, err := Generate("table9", ReportConfig{}, runner.Serial())
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("Generate(table9) err = %v", err)
+	}
+}

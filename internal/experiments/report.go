@@ -8,11 +8,21 @@ import (
 	"repro/internal/runner"
 )
 
+// Default sweep axes applied by every entry point (WriteReport,
+// Generate, the sweep service) when a request leaves them zero, so
+// equivalent requests canonicalize identically.
+const (
+	// DefaultN is the approximate instance size.
+	DefaultN = 576
+	// DefaultSeed drives all randomized runs.
+	DefaultSeed = 1
+)
+
 // ReportConfig selects what WriteReport regenerates and how.
 type ReportConfig struct {
-	// N is the approximate instance size (default 576).
+	// N is the approximate instance size (default DefaultN).
 	N int
-	// Seed drives all randomized runs (default 1).
+	// Seed drives all randomized runs (default DefaultSeed).
 	Seed int64
 	// Tables selects tables 1–4 (nil = all); Figure1 and NQ toggle the
 	// figure and the NQ-scaling section.
@@ -34,10 +44,10 @@ type ReportConfig struct {
 
 func (c *ReportConfig) defaults() {
 	if c.N <= 0 {
-		c.N = 576
+		c.N = DefaultN
 	}
 	if c.Seed == 0 {
-		c.Seed = 1
+		c.Seed = DefaultSeed
 	}
 	if c.Tables == nil && !c.Figure1 && !c.NQ {
 		c.Tables = []int{1, 2, 3, 4}
@@ -81,21 +91,22 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 		return err
 	}
 	run := &runner.Runner{Workers: cfg.Workers}
-	var gens []generator
+	var names []string
 	if cfg.NQ {
-		gens = append(gens, genNQ)
+		names = append(names, "nq")
 	}
 	for _, tbl := range cfg.Tables {
-		gen, ok := tableGenerators[tbl]
-		if !ok {
+		name := fmt.Sprintf("table%d", tbl)
+		if _, ok := lookup(name); !ok {
 			return fmt.Errorf("experiments: unknown table %d", tbl)
 		}
-		gens = append(gens, gen)
+		names = append(names, name)
 	}
 	if cfg.Figure1 {
-		gens = append(gens, genFigure1)
+		names = append(names, "figure1")
 	}
-	for _, gen := range gens {
+	for _, name := range names {
+		gen, _ := lookup(name)
 		tables, err := gen(cfg, run)
 		if err != nil {
 			return err

@@ -1,0 +1,205 @@
+package resultcache
+
+// The disk tier: an append-only log of JSONL segments. Each record is
+// one {"key": ..., "value": base64} line; segments rotate at a size
+// threshold so a long-lived service never grows one unbounded file.
+// On open every segment is scanned once to build the in-memory index
+// (later records shadow earlier ones — the log is the source of truth,
+// the index a cache of offsets); Gets then read exactly one record
+// back via ReadAt. Writes and index mutations are serialized by one
+// mutex — the heavy work (simulation) happens far above this layer.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// defaultSegmentBytes is the rotation threshold for segment files.
+const defaultSegmentBytes = 4 << 20
+
+// record is the JSONL schema of one disk entry.
+type record struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value"` // encoding/json applies base64
+}
+
+// loc addresses one record inside the segment set.
+type loc struct {
+	seg int
+	off int64
+	len int
+}
+
+type diskTier struct {
+	mu           sync.Mutex
+	dir          string
+	index        map[string]loc
+	cur          *os.File // append handle of the active segment
+	curID        int
+	curBytes     int64
+	segmentBytes int64
+	broken       bool // a write failed; stop appending, keep serving reads
+}
+
+func segmentName(id int) string { return fmt.Sprintf("seg-%06d.jsonl", id) }
+
+func segmentPath(dir string, id int) string { return filepath.Join(dir, segmentName(id)) }
+
+// openDiskTier indexes every existing segment under dir (creating the
+// directory if needed) and opens the newest one for appending.
+func openDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &diskTier{
+		dir:          dir,
+		index:        make(map[string]loc),
+		segmentBytes: defaultSegmentBytes,
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	maxID := 0
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%06d.jsonl", &id); err != nil {
+			continue
+		}
+		if err := d.indexSegment(name, id); err != nil {
+			return nil, fmt.Errorf("resultcache: indexing %s: %w", name, err)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	d.curID = maxID
+	if d.curID == 0 {
+		d.curID = 1
+	}
+	f, err := os.OpenFile(segmentPath(dir, d.curID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.cur = f
+	d.curBytes = st.Size()
+	return d, nil
+}
+
+// indexSegment scans one segment line by line, recording offsets. A
+// trailing partial line (a crashed writer) is ignored; malformed full
+// lines are skipped rather than failing the whole tier.
+func (d *diskTier) indexSegment(path string, id int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// Incomplete trailing line or EOF: stop here.
+			return nil
+		}
+		var rec record
+		if json.Unmarshal(line, &rec) == nil && rec.Key != "" {
+			d.index[rec.Key] = loc{seg: id, off: off, len: len(line)}
+		}
+		off += int64(len(line))
+	}
+}
+
+func (d *diskTier) get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	l, ok := d.index[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, l.len)
+	f, err := os.Open(segmentPath(d.dir, l.seg))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(buf, l.off); err != nil {
+		return nil, false
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.Key != key {
+		return nil, false
+	}
+	return rec.Value, true
+}
+
+// put appends one record and reports whether it was durably written.
+func (d *diskTier) put(key string, value []byte) bool {
+	line, err := json.Marshal(record{Key: key, Value: value})
+	if err != nil {
+		return false
+	}
+	line = append(line, '\n')
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur == nil || d.broken {
+		return false
+	}
+	// An existing key is appended again (shadowing the old record on
+	// the next reopen, and re-pointing the index now) rather than
+	// skipped: identical content addresses normally carry identical
+	// values, but a Put over an existing key only happens when the old
+	// record failed to decode — skipping would make corruption
+	// permanent, and the memory tier already holds the new value.
+	if d.curBytes > 0 && d.curBytes+int64(len(line)) > d.segmentBytes {
+		if err := d.rotate(); err != nil {
+			d.broken = true
+			return false
+		}
+	}
+	if _, err := d.cur.Write(line); err != nil {
+		d.broken = true
+		return false
+	}
+	d.index[key] = loc{seg: d.curID, off: d.curBytes, len: len(line)}
+	d.curBytes += int64(len(line))
+	return true
+}
+
+func (d *diskTier) rotate() error {
+	if err := d.cur.Close(); err != nil {
+		return err
+	}
+	d.curID++
+	f, err := os.OpenFile(segmentPath(d.dir, d.curID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		d.cur = nil
+		return err
+	}
+	d.cur = f
+	d.curBytes = 0
+	return nil
+}
+
+func (d *diskTier) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur == nil {
+		return nil
+	}
+	err := d.cur.Close()
+	d.cur = nil
+	return err
+}

@@ -1,0 +1,278 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// The cache must satisfy the runner's cache-lookup hook.
+var _ runner.CellCache = (*Cache)(nil)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k1", []byte("v1"))
+	v, ok := c.Get("k1")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v", v, ok)
+	}
+	c.Put("k1", []byte("v1-replaced"))
+	v, _ = c.Get("k1")
+	if string(v) != "v1-replaced" {
+		t.Fatalf("replacement not visible: %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate() < 0.66 || st.HitRate() > 0.67 {
+		t.Fatalf("hit rate %f", st.HitRate())
+	}
+}
+
+// TestEvictionOrder pins the LRU policy on a single shard's budget:
+// touching an entry saves it from eviction, the least recently used one
+// goes first.
+func TestEvictionOrder(t *testing.T) {
+	// Budget for 3 × 100-byte values per shard. All keys are forced
+	// into one shard by probing (shardCount is 16; generate keys until
+	// 4 land together).
+	c := New(300 * shardCount)
+	target := c.shard("anchor")
+	var keys []string
+	for i := 0; len(keys) < 4; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	val := bytes.Repeat([]byte("x"), 100)
+	c.Put(keys[0], val)
+	c.Put(keys[1], val)
+	c.Put(keys[2], val) // shard full: [2 1 0]
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("keys[0] evicted prematurely")
+	}
+	// LRU order now [0 2 1]; inserting keys[3] must evict keys[1].
+	c.Put(keys[3], val)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry keys[1] survived over-budget insert")
+	}
+	for _, k := range []string{keys[0], keys[2], keys[3]} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestOversizedValueStillCached: a value above the shard budget is kept
+// (alone) rather than thrashing.
+func TestOversizedValueStillCached(t *testing.T) {
+	c := New(10 * shardCount)
+	big := bytes.Repeat([]byte("y"), 1000)
+	c.Put("big", big)
+	v, ok := c.Get("big")
+	if !ok || !bytes.Equal(v, big) {
+		t.Fatal("oversized value not cached")
+	}
+}
+
+// TestConcurrentGetPut hammers all shards from many goroutines; under
+// -race this is the data-race certification for the serving path.
+func TestConcurrentGetPut(t *testing.T) {
+	c := New(1 << 16) // small enough to force concurrent evictions
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k-%d", (g*31+i)%200)
+				if v, ok := c.Get(key); ok {
+					if len(v) != 64 {
+						t.Errorf("corrupt value length %d", len(v))
+						return
+					}
+				} else {
+					c.Put(key, bytes.Repeat([]byte{byte(i)}, 64))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("lost gets: %+v", st)
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("cell-%03d", i)
+		v := bytes.Repeat([]byte{byte(i)}, 128)
+		want[k] = v
+		c1.Put(k, v)
+	}
+	if st := c1.Stats(); st.DiskPuts != 50 {
+		t.Fatalf("disk puts = %d, want 50", st.DiskPuts)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process over the same directory serves everything from
+	// disk, promoting into memory.
+	c2, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for k, v := range want {
+		got, ok := c2.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("disk round-trip lost %s", k)
+		}
+	}
+	st := c2.Stats()
+	if st.DiskHits != 50 || st.Hits != 50 {
+		t.Fatalf("restart stats %+v", st)
+	}
+	// Promoted entries now hit memory (DiskHits stays put).
+	if _, ok := c2.Get("cell-000"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 50 {
+		t.Fatalf("memory hit counted as disk hit: %+v", st)
+	}
+}
+
+// TestDiskSegmentRotation forces tiny segments and checks records stay
+// readable across many files, including after reopen.
+func TestDiskSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.disk.segmentBytes = 256 // force rotation every couple of records
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("rot-%02d", i), bytes.Repeat([]byte{byte('a' + i%26)}, 50))
+	}
+	c.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+	c2, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("rot-%02d", i)
+		v, ok := c2.Get(k)
+		if !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte('a' + i%26)}, 50)) {
+			t.Fatalf("lost %s across rotation+reopen", k)
+		}
+	}
+}
+
+// TestDiskIgnoresTrailingGarbage: a truncated final line (crashed
+// writer) must not poison the index.
+func TestDiskIgnoresTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("good", []byte("value"))
+	c.Close()
+	seg := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","val`) // no newline: torn write
+	f.Close()
+	c2, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v, ok := c2.Get("good"); !ok || string(v) != "value" {
+		t.Fatal("intact record lost after torn tail")
+	}
+	if _, ok := c2.Get("torn"); ok {
+		t.Fatal("torn record surfaced")
+	}
+}
+
+// TestMemoryEvictionFallsThroughToDisk: an entry evicted from the
+// memory tier is still served (as a disk hit).
+func TestMemoryEvictionFallsThroughToDisk(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny memory budget: every shard holds ~1 value.
+	c, err := NewWithDisk(64*shardCount, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	val := bytes.Repeat([]byte("z"), 60)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("spill-%03d", i), val)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected memory evictions")
+	}
+	for i := 0; i < 200; i++ {
+		if v, ok := c.Get(fmt.Sprintf("spill-%03d", i)); !ok || !bytes.Equal(v, val) {
+			t.Fatalf("spill-%03d unreadable after eviction", i)
+		}
+	}
+	if st := c.Stats(); st.DiskHits == 0 {
+		t.Fatal("evicted entries never fell through to disk")
+	}
+}
+
+// TestDiskReplacementVisibleAfterReopen: re-putting an existing key
+// (the corrupt-old-record recovery path) must shadow the old disk
+// record, keeping both tiers in agreement across restarts.
+func TestDiskReplacementVisibleAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("memory tier holds %q", v)
+	}
+	c.Close()
+	c2, err := NewWithDisk(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v, ok := c2.Get("k"); !ok || string(v) != "v2" {
+		t.Fatalf("disk tier resurrected stale value %q (ok=%v)", v, ok)
+	}
+}

@@ -1,0 +1,138 @@
+package runner
+
+// The shared worker pool of the sweep service: several concurrent
+// sweeps (Collect calls) attach their cell tasks to one fixed-size pool
+// instead of each spawning its own goroutines. Scheduling is fair per
+// attached batch — workers pop tasks round-robin across the active
+// batches, so a small sweep submitted while a large one is in flight
+// makes progress immediately instead of queueing behind it. Close
+// drains: every task already accepted keeps its worker until it
+// finishes, and only new batches are rejected.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Run after Close.
+var ErrPoolClosed = errors.New("runner: pool closed")
+
+// Pool is a shared fixed-size worker pool with per-batch fair
+// scheduling. A Runner whose Pool field is set submits its cells here;
+// multiple Runners may share one Pool concurrently.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues []*poolQueue // batches with undispatched tasks
+	rr     int          // round-robin cursor into queues
+	closed bool
+	wg     sync.WaitGroup // worker goroutines
+}
+
+// poolQueue is one attached batch of tasks.
+type poolQueue struct {
+	tasks   []func()
+	next    int           // first undispatched task
+	pending int           // dispatched-or-not tasks not yet finished
+	done    chan struct{} // closed when pending reaches zero
+}
+
+// NewPool starts a pool of the given size (≤ 0 means GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run attaches tasks as one batch and blocks until every task has
+// finished. Concurrent Run calls interleave fairly: each scheduling
+// decision serves the next active batch in round-robin order. Run
+// returns ErrPoolClosed (without running anything) if the pool has
+// been closed.
+func (p *Pool) Run(tasks []func()) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	q := &poolQueue{tasks: tasks, pending: len(tasks), done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.queues = append(p.queues, q)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-q.done
+	return nil
+}
+
+// Close stops admission and drains the pool: every task of every batch
+// already accepted by Run completes before Close returns. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queues) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queues) == 0 { // closed and fully drained
+			p.mu.Unlock()
+			return
+		}
+		// Fair scheduling: advance the round-robin cursor one batch
+		// per dispatched task.
+		if p.rr >= len(p.queues) {
+			p.rr = 0
+		}
+		q := p.queues[p.rr]
+		p.rr++
+		t := q.tasks[q.next]
+		q.tasks[q.next] = nil // release for the GC
+		q.next++
+		if q.next == len(q.tasks) {
+			// Fully dispatched: detach from the scheduler. The batch
+			// completes when its in-flight tasks drain.
+			for i, other := range p.queues {
+				if other == q {
+					p.queues = append(p.queues[:i], p.queues[i+1:]...)
+					if i < p.rr {
+						p.rr--
+					}
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
+
+		t()
+
+		p.mu.Lock()
+		q.pending--
+		if q.pending == 0 {
+			close(q.done)
+		}
+		p.mu.Unlock()
+	}
+}

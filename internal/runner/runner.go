@@ -239,8 +239,26 @@ func Cells[T any](sc *Scenario[T]) []Cell {
 
 // Runner fans independent sweep cells out over a fixed-size worker pool.
 type Runner struct {
-	// Workers is the pool size; values ≤ 0 mean GOMAXPROCS.
+	// Workers is the pool size; values ≤ 0 mean GOMAXPROCS. Ignored
+	// when Pool is set.
 	Workers int
+	// Pool, when non-nil, is a shared worker pool the sweep's cells are
+	// submitted to instead of spawning per-sweep goroutines; concurrent
+	// sweeps on one Pool are scheduled fairly per sweep.
+	Pool *Pool
+	// Cache, when non-nil, is consulted before any cell is dispatched:
+	// cells whose content address (Cell.CacheKey) resolves decode their
+	// rows from the cache and bypass the worker pool entirely, and
+	// freshly computed cells are stored back. Because cell rows are a
+	// pure function of the cache key, cached sweeps render
+	// byte-identically to cold ones (DESIGN.md §7).
+	Cache CellCache
+	// CacheVersion is the code-version component of the cache key;
+	// empty means CodeVersion.
+	CacheVersion string
+	// Observer, when non-nil, receives one CellEvent per cell (from
+	// worker goroutines; it must be safe for concurrent use).
+	Observer CellObserver
 }
 
 // Serial returns a single-worker runner.
@@ -256,10 +274,35 @@ func (r *Runner) workers() int {
 	return r.Workers
 }
 
+func (r *Runner) cache() CellCache {
+	if r == nil {
+		return nil
+	}
+	return r.Cache
+}
+
+func (r *Runner) cacheVersion() string {
+	if r == nil || r.CacheVersion == "" {
+		return CodeVersion
+	}
+	return r.CacheVersion
+}
+
+func (r *Runner) observe(ev CellEvent) {
+	if r != nil && r.Observer != nil {
+		r.Observer(ev)
+	}
+}
+
 // Collect runs every cell of the scenario on r's pool and returns the
 // rows concatenated in canonical cell order. The output is independent
 // of the worker count; on failure the error of the lowest-indexed
 // failing cell is returned.
+//
+// With r.Cache set, each cell's content address is looked up first:
+// hits decode their rows from the cache and never reach the worker
+// pool, misses run and are stored back. Either way r.Observer sees one
+// event per cell.
 func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 	if sc.Run == nil {
 		return nil, fmt.Errorf("runner: scenario %q has no Run function", sc.Name)
@@ -267,17 +310,64 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 	cells := Cells(sc)
 	results := make([][]T, len(cells))
 	errs := make([]error, len(cells))
-	workers := r.workers()
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	if workers <= 1 {
+
+	// Cache-lookup pass: resolve hits up front so only misses are
+	// dispatched.
+	cache := r.cache()
+	var keys []string
+	pending := make([]int, 0, len(cells))
+	if cache != nil {
+		version := r.cacheVersion()
+		keys = make([]string, len(cells))
 		for i := range cells {
-			results[i], errs[i] = sc.Run(&cells[i])
+			keys[i] = cells[i].CacheKey(version)
+			if blob, ok := cache.Get(keys[i]); ok {
+				if rows, err := decodeRows[T](blob); err == nil {
+					results[i] = rows
+					r.observe(CellEvent{Cell: &cells[i], Key: keys[i], Cached: true, Rows: len(rows)})
+					continue
+				}
+				// An undecodable entry (e.g. written by an older row
+				// schema under a stale version string) is a miss.
+			}
+			pending = append(pending, i)
 		}
 	} else {
-		work := make(chan int, len(cells))
 		for i := range cells {
+			pending = append(pending, i)
+		}
+	}
+
+	runCell := func(i int) {
+		results[i], errs[i] = sc.Run(&cells[i])
+		ev := CellEvent{Cell: &cells[i], Rows: len(results[i]), Err: errs[i]}
+		if cache != nil {
+			ev.Key = keys[i]
+			if errs[i] == nil {
+				if blob, err := encodeRows(results[i]); err == nil {
+					cache.Put(keys[i], blob)
+				}
+			}
+		}
+		r.observe(ev)
+	}
+
+	if r != nil && r.Pool != nil {
+		tasks := make([]func(), len(pending))
+		for j, i := range pending {
+			i := i
+			tasks[j] = func() { runCell(i) }
+		}
+		if err := r.Pool.Run(tasks); err != nil {
+			return nil, fmt.Errorf("runner: scenario %q: %w", sc.Name, err)
+		}
+	} else if workers := min(r.workers(), len(pending)); workers <= 1 {
+		for _, i := range pending {
+			runCell(i)
+		}
+	} else {
+		work := make(chan int, len(pending))
+		for _, i := range pending {
 			work <- i
 		}
 		close(work)
@@ -287,7 +377,7 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i], errs[i] = sc.Run(&cells[i])
+					runCell(i)
 				}
 			}()
 		}
