@@ -43,6 +43,7 @@ func run(args []string, w io.Writer) error {
 	)
 	baselinePath := fs.String("baseline", "", "baseline measurement (bench text or benchjson JSONL); optional")
 	currentPath := fs.String("current", "", "current measurement (bench text); default stdin")
+	table := fs.String("table", "bench_core", "table name stamped on every output row (e.g. bench_sweep)")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
@@ -79,7 +80,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	return write(w, baseline, current)
+	return write(w, *table, baseline, current)
 }
 
 // measurement is one benchmark's aggregated result.
@@ -163,14 +164,14 @@ func parseJSONL(data []byte) (map[string]measurement, error) {
 }
 
 // write renders the joined measurements through the runner's JSONL sink.
-func write(w io.Writer, baseline, current map[string]measurement) error {
+func write(w io.Writer, table string, baseline, current map[string]measurement) error {
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	t := &runner.Table{
-		Name: "bench_core",
+		Name: table,
 		Keys: []string{"benchmark", "baseline_ns_op", "baseline_allocs_op", "current_ns_op", "current_allocs_op", "speedup"},
 	}
 	for _, name := range names {

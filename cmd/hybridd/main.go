@@ -1,8 +1,11 @@
 // Command hybridd serves the experiment harness over HTTP: a
 // long-running sweep service (stdlib net/http only) over the scenario
-// registry of internal/experiments, backed by the content-addressed
-// result cache of internal/resultcache, so repeated sweep cells are
-// answered without re-simulation (DESIGN.md §7).
+// registry of internal/experiments, backed by the namespaced
+// content-addressed artifact store of internal/artifact — result rows
+// in one namespace, frozen CSR topologies in another — so repeated
+// sweep cells are answered without re-simulation and each distinct
+// graph instance is built once and shared across points, sweeps, and
+// restarts (DESIGN.md §7, §9).
 //
 // Endpoints:
 //
@@ -10,12 +13,14 @@
 //	POST /v1/sweeps               submit {"scenario","families","n","seed"}
 //	GET  /v1/sweeps/{id}          poll a sweep's status
 //	GET  /v1/sweeps/{id}/results  stream results (?format=md|csv|jsonl)
-//	GET  /v1/cache/stats          result-cache counters
+//	GET  /v1/cache/stats          artifact-store counters (per namespace,
+//	                              disk tier, topology cache)
 //
-// Sweeps are content-addressed: submitting an identical request returns
-// the already-finished sweep, and `"fresh": true` re-executes through
-// the cell cache instead. SIGINT/SIGTERM shut down gracefully, draining
-// in-flight sweeps.
+// Wrong-method requests on the /v1/* paths answer 405 with an Allow
+// header and the JSON error shape. Sweeps are content-addressed:
+// submitting an identical request returns the already-finished sweep,
+// and `"fresh": true` re-executes through the cell cache instead.
+// SIGINT/SIGTERM shut down gracefully, draining in-flight sweeps.
 package main
 
 import (

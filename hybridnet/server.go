@@ -1,13 +1,15 @@
 package hybridnet
 
-// The sweep service (DESIGN.md §7): a long-running server over the
+// The sweep service (DESIGN.md §7, §9): a long-running server over the
 // scenario registry of internal/experiments, with a shared fair
 // worker pool (runner.Pool) as the batching admission layer and a
-// content-addressed result cache (internal/resultcache) underneath, so
-// repeated cells — the common case across tables sharing graph
-// families — are served without re-simulation. cmd/hybridd is the
-// stdlib net/http binary over Handler; everything here is equally
-// usable in-process (NewServer / Submit / Wait / WriteResults).
+// namespaced content-addressed artifact store (internal/artifact)
+// underneath — result rows in one namespace, frozen CSR topologies in
+// another — so repeated cells are served without re-simulation and
+// every distinct graph instance is built exactly once across points,
+// sweeps, and restarts. cmd/hybridd is the stdlib net/http binary over
+// Handler; everything here is equally usable in-process
+// (NewServer / Submit / Wait / WriteResults).
 
 import (
 	"encoding/json"
@@ -17,19 +19,30 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/graph"
-	"repro/internal/resultcache"
 	"repro/internal/runner"
 )
+
+// graphNamespace is the artifact namespace holding encoded frozen
+// topologies (artifact.DefaultNamespace holds the result rows).
+const graphNamespace = "graphs"
 
 // ScenarioInfo describes one sweepable artifact of the scenario
 // registry, as listed by GET /v1/scenarios.
 type ScenarioInfo = experiments.Artifact
 
-// CacheStats is a snapshot of the server's result-cache counters
-// (hits, misses, evictions, disk tiers, footprint).
-type CacheStats = resultcache.Stats
+// CacheStats is the /v1/cache/stats document: the artifact store's
+// cross-namespace totals (flat, backward-compatible fields), the
+// per-namespace breakdown, the disk-tier counters, and the topology
+// cache of decoded graph instances.
+type CacheStats struct {
+	artifact.StoreStats
+	// GraphCache counts decoded-topology traffic: builds, shared-
+	// instance hits, blob-store restores, singleflight joins.
+	GraphCache runner.GraphCacheStats `json:"graph_cache"`
+}
 
 // Sweep-lifecycle errors.
 var (
@@ -54,11 +67,15 @@ type ServerConfig struct {
 	// Workers sizes the shared worker pool every sweep's cells are
 	// scheduled on (≤ 0 means GOMAXPROCS).
 	Workers int
-	// CacheBytes bounds the in-memory result-cache tier; 0 means
-	// resultcache.DefaultMaxBytes, negative disables caching entirely.
+	// CacheBytes bounds the in-memory artifact-store tier (result rows
+	// and encoded topologies share the budget); 0 means
+	// artifact.DefaultMaxBytes, negative disables the store entirely
+	// (topologies are then still deduplicated in memory, but nothing
+	// is content-addressed or persisted).
 	CacheBytes int64
 	// CacheDir, when non-empty, adds the persistent disk tier: results
-	// survive restarts and are served from disk after eviction.
+	// and topologies survive restarts and are served from disk after
+	// eviction.
 	CacheDir string
 	// Version overrides the code-version component of every content
 	// address (default runner.CodeVersion). Two servers sharing a
@@ -136,7 +153,9 @@ func (sw *sweep) status() SweepStatus {
 // Close (it drains in-flight sweeps and releases the cache).
 type Server struct {
 	pool    *runner.Pool
-	cache   *resultcache.Cache
+	store   *artifact.Store     // nil when caching is disabled
+	results *artifact.Namespace // result-row namespace of store
+	graphs  *runner.GraphCache  // always present; store-backed when possible
 	version string
 
 	mu     sync.Mutex
@@ -145,7 +164,8 @@ type Server struct {
 	wg     sync.WaitGroup // in-flight sweep goroutines
 }
 
-// NewServer starts the shared pool and opens the result cache.
+// NewServer starts the shared pool, opens the artifact store, and
+// attaches the topology cache to its graph namespace.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		version: cfg.Version,
@@ -156,14 +176,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.CacheBytes >= 0 {
 		if cfg.CacheDir != "" {
-			cache, err := resultcache.NewWithDisk(cfg.CacheBytes, cfg.CacheDir)
+			store, err := artifact.NewStoreWithDisk(cfg.CacheBytes, cfg.CacheDir)
 			if err != nil {
 				return nil, fmt.Errorf("hybridnet: opening cache dir: %w", err)
 			}
-			s.cache = cache
+			s.store = store
 		} else {
-			s.cache = resultcache.New(cfg.CacheBytes)
+			s.store = artifact.NewStore(cfg.CacheBytes)
 		}
+		s.results = s.store.Namespace(artifact.DefaultNamespace)
+		// The decoded-instance cache in front of the graph namespace is
+		// the real memory tier for topologies: CSR blobs only belong on
+		// disk (write-through would evict result rows from the shared
+		// byte budget while duplicating every decoded graph). Without a
+		// disk tier the namespace has nothing to offer over a rebuild,
+		// so the topology cache runs store-less.
+		if cfg.CacheDir != "" {
+			gns := s.store.Namespace(graphNamespace)
+			gns.SetDiskOnlyPuts(true)
+			s.graphs = runner.NewGraphCache(gns, 0)
+		} else {
+			s.graphs = runner.NewGraphCache(nil, 0)
+		}
+	} else {
+		// No artifact store: topologies are still built once and
+		// shared, just not persisted.
+		s.graphs = runner.NewGraphCache(nil, 0)
 	}
 	s.pool = runner.NewPool(cfg.Workers)
 	return s, nil
@@ -182,8 +220,8 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.pool.Close()
-	if s.cache != nil {
-		return s.cache.Close()
+	if s.store != nil {
+		return s.store.Close()
 	}
 	return nil
 }
@@ -191,13 +229,15 @@ func (s *Server) Close() error {
 // Scenarios lists the registered artifacts in canonical report order.
 func (s *Server) Scenarios() []ScenarioInfo { return experiments.Artifacts() }
 
-// CacheStats snapshots the result cache (zero Stats when caching is
-// disabled).
+// CacheStats snapshots the artifact store (per-namespace and disk
+// counters; zero StoreStats when caching is disabled) and the topology
+// cache.
 func (s *Server) CacheStats() CacheStats {
-	if s.cache == nil {
-		return CacheStats{}
+	st := CacheStats{GraphCache: s.graphs.Stats()}
+	if s.store != nil {
+		st.StoreStats = s.store.Stats()
 	}
-	return s.cache.Stats()
+	return st
 }
 
 // Version returns the code-version component of the server's content
@@ -287,6 +327,7 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 	r := &runner.Runner{
 		Pool:         s.pool,
 		CacheVersion: s.version,
+		Graphs:       s.graphs,
 		Observer: func(ev runner.CellEvent) {
 			sw.mu.Lock()
 			sw.cells++
@@ -296,8 +337,8 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 			sw.mu.Unlock()
 		},
 	}
-	if s.cache != nil {
-		r.Cache = s.cache
+	if s.results != nil {
+		r.Cache = s.results
 	}
 	tables, err := experiments.Generate(sw.req.Scenario, cfg, r)
 	sw.mu.Lock()
@@ -382,7 +423,11 @@ func (sw *sweep) writeResults(w io.Writer, format string) error {
 //	POST /v1/sweeps               — submit a SweepRequest (JSON body)
 //	GET  /v1/sweeps/{id}          — poll one sweep's status
 //	GET  /v1/sweeps/{id}/results  — stream results (?format=md|csv|jsonl)
-//	GET  /v1/cache/stats          — result-cache counters
+//	GET  /v1/cache/stats          — artifact-store and topology-cache counters
+//
+// A known /v1/* path hit with the wrong method answers 405 Method Not
+// Allowed as a JSON error with an Allow header, matching the error
+// shape of every other endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -390,7 +435,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	// Method-less patterns are strictly less specific than the
+	// method-qualified ones above, so they catch exactly the
+	// wrong-method requests (ServeMux's built-in 405 would answer
+	// text/plain, breaking the JSON error contract).
+	for path, allow := range map[string]string{
+		"/v1/scenarios":           "GET",
+		"/v1/sweeps":              "POST",
+		"/v1/sweeps/{id}":         "GET",
+		"/v1/sweeps/{id}/results": "GET",
+		"/v1/cache/stats":         "GET",
+	} {
+		mux.HandleFunc(path, methodNotAllowed(allow))
+	}
 	return mux
+}
+
+// methodNotAllowed answers a wrong-method request with 405, the Allow
+// header, and the service's JSON error shape. HEAD is allowed wherever
+// GET is (ServeMux routes it to the GET handler, never here).
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -63,8 +63,14 @@ func TestServerCacheHitSweepByteIdentical(t *testing.T) {
 		t.Fatalf("cold sweep cells=%d cached=%d", st.Cells, st.CachedCells)
 	}
 	coldStats := srv.CacheStats()
-	if coldStats.Puts != uint64(st.Cells) || coldStats.Misses != uint64(st.Cells) {
-		t.Fatalf("cold cache stats %+v for %d cells", coldStats, st.Cells)
+	coldResults := coldStats.Namespaces["results"]
+	if coldResults.Puts != uint64(st.Cells) || coldResults.Misses != uint64(st.Cells) {
+		t.Fatalf("cold results-namespace stats %+v for %d cells", coldResults, st.Cells)
+	}
+	// The sweep's one topology (path, n=64) was built exactly once and
+	// shared across the four workload points.
+	if gc := coldStats.GraphCache; gc.Builds != 1 {
+		t.Fatalf("cold sweep built %d graphs, want 1: %+v", gc.Builds, gc)
 	}
 
 	cold := map[string][]byte{}
@@ -101,11 +107,17 @@ func TestServerCacheHitSweepByteIdentical(t *testing.T) {
 		t.Fatalf("fresh sweep served %.0f%% from cache, want ≥ 90%%", 100*frac)
 	}
 	warmStats := srv.CacheStats()
-	if warmStats.Hits-coldStats.Hits != uint64(st2.CachedCells) {
-		t.Fatalf("cache hits went %d → %d for %d cached cells", coldStats.Hits, warmStats.Hits, st2.CachedCells)
+	warmResults := warmStats.Namespaces["results"]
+	if warmResults.Hits-coldResults.Hits != uint64(st2.CachedCells) {
+		t.Fatalf("cache hits went %d → %d for %d cached cells", coldResults.Hits, warmResults.Hits, st2.CachedCells)
 	}
-	if warmStats.Misses != coldStats.Misses {
-		t.Fatalf("fresh sweep missed the cache: %+v", warmStats)
+	if warmResults.Misses != coldResults.Misses {
+		t.Fatalf("fresh sweep missed the cache: %+v", warmResults)
+	}
+	// The resubmitted sweep built zero graphs: every cell resolved from
+	// the result cache before topology construction could even start.
+	if warmStats.GraphCache.Builds != coldStats.GraphCache.Builds {
+		t.Fatalf("resubmitted sweep built graphs: %+v vs %+v", warmStats.GraphCache, coldStats.GraphCache)
 	}
 
 	for _, format := range []string{"md", "csv", "jsonl"} {
@@ -135,7 +147,7 @@ func TestServerContentAddressedReuse(t *testing.T) {
 	if !again.Reused || again.ID != st.ID || again.State != hybridnet.SweepDone {
 		t.Fatalf("resubmission not reused: %+v", again)
 	}
-	if after := srv.CacheStats(); after != statsBefore {
+	if after := srv.CacheStats(); after.Stats != statsBefore.Stats || after.GraphCache != statsBefore.GraphCache {
 		t.Fatalf("reused submission touched the cache: %+v vs %+v", after, statsBefore)
 	}
 	// Defaults normalize into the content address: explicit defaults
@@ -179,11 +191,56 @@ func TestServerDiskTierSurvivesRestart(t *testing.T) {
 	if st2.CachedCells != st2.Cells {
 		t.Fatalf("restarted server re-simulated: %d/%d cached", st2.CachedCells, st2.Cells)
 	}
-	if stats := srv2.CacheStats(); stats.DiskHits == 0 {
-		t.Fatalf("no disk hits after restart: %+v", stats)
+	stats := srv2.CacheStats()
+	if stats.DiskHits == 0 {
+		t.Fatalf("no disk hits after restart: %+v", stats.Stats)
+	}
+	if stats.Disk == nil || stats.Disk.Reindexed == 0 || stats.Disk.Segments == 0 || stats.Disk.Bytes == 0 {
+		t.Fatalf("restart did not report disk-tier recovery: %+v", stats.Disk)
 	}
 	if warm := results(t, srv2, st2.ID, "md"); !bytes.Equal(cold, warm) {
 		t.Fatalf("results differ across restart:\n%s\nvs\n%s", cold, warm)
+	}
+}
+
+// TestServerTopologyPersistsAcrossRestart: topology content addresses
+// omit the code version on purpose — a graph is a pure function of
+// (family, n, seed, codec). A restarted server under a bumped version
+// must therefore re-simulate every cell (result keys changed) while
+// restoring every topology from the artifact disk tier, building zero.
+func TestServerTopologyPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1 := newTestServer(t, hybridnet.ServerConfig{CacheDir: dir, Version: "v1"})
+	st, err := srv1.Submit(nqPathRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = srv1.Wait(st.ID); err != nil || st.State != hybridnet.SweepDone {
+		t.Fatalf("first server sweep: %+v, %v", st, err)
+	}
+	cold := results(t, srv1, st.ID, "md")
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := newTestServer(t, hybridnet.ServerConfig{CacheDir: dir, Version: "v2"})
+	st2, err := srv2.Submit(nqPathRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, err = srv2.Wait(st2.ID); err != nil || st2.State != hybridnet.SweepDone {
+		t.Fatalf("second server sweep: %+v, %v", st2, err)
+	}
+	if st2.CachedCells != 0 {
+		t.Fatalf("version bump did not orphan result rows: %d/%d cached", st2.CachedCells, st2.Cells)
+	}
+	gc := srv2.CacheStats().GraphCache
+	if gc.Builds != 0 || gc.StoreHits == 0 {
+		t.Fatalf("restarted server rebuilt topologies instead of restoring: %+v", gc)
+	}
+	if warm := results(t, srv2, st2.ID, "md"); !bytes.Equal(cold, warm) {
+		t.Fatalf("results differ across version bump:\n%s\nvs\n%s", cold, warm)
 	}
 }
 
@@ -216,6 +273,65 @@ func TestServerConcurrentSweeps(t *testing.T) {
 			t.Fatalf("distinct requests collided on id %s", id)
 		}
 		seen[id] = true
+	}
+}
+
+// TestServerMethodNotAllowed: a known /v1/* path hit with the wrong
+// method answers 405 with an Allow header and the JSON error shape,
+// instead of ServeMux's text/plain default (or a 404).
+func TestServerMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t, hybridnet.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{"POST", "/v1/scenarios", "GET"},
+		{"DELETE", "/v1/scenarios", "GET"},
+		{"GET", "/v1/sweeps", "POST"},
+		{"PUT", "/v1/sweeps", "POST"},
+		{"POST", "/v1/sweeps/sw-0000000000000000", "GET"},
+		{"DELETE", "/v1/sweeps/sw-0000000000000000/results", "GET"},
+		{"POST", "/v1/cache/stats", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: code %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type = %q, want JSON error shape", tc.method, tc.path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: body %q is not the JSON error document", tc.method, tc.path, body)
+		}
+	}
+
+	// HEAD rides on GET handlers, never the 405 fallback.
+	resp, err := http.Head(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /v1/scenarios: code %d, want 200", resp.StatusCode)
 	}
 }
 
@@ -285,7 +401,7 @@ func TestServerHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || len(scenarios.Scenarios) != 6 || len(scenarios.Families) != 11 || scenarios.Version == "" {
+	if resp.StatusCode != http.StatusOK || len(scenarios.Scenarios) != 7 || len(scenarios.Families) != 11 || scenarios.Version == "" {
 		t.Fatalf("scenarios endpoint: code=%d %+v", resp.StatusCode, scenarios)
 	}
 

@@ -1,13 +1,16 @@
-package resultcache
+package artifact
 
-// The disk tier: an append-only log of JSONL segments. Each record is
-// one {"key": ..., "value": base64} line; segments rotate at a size
-// threshold so a long-lived service never grows one unbounded file.
-// On open every segment is scanned once to build the in-memory index
-// (later records shadow earlier ones — the log is the source of truth,
-// the index a cache of offsets); Gets then read exactly one record
-// back via ReadAt. Writes and index mutations are serialized by one
-// mutex — the heavy work (simulation) happens far above this layer.
+// The disk tier: an append-only log of JSONL segments shared by every
+// namespace. Each record is one {"ns": ..., "key": ..., "value": base64}
+// line ("ns" omitted for DefaultNamespace, which keeps the segments
+// written by the pre-namespace result cache readable); segments rotate
+// at a size threshold so a long-lived service never grows one unbounded
+// file. On open every segment is scanned once to build the in-memory
+// index (later records shadow earlier ones — the log is the source of
+// truth, the index a cache of offsets); Gets then read exactly one
+// record back via ReadAt. Writes and index mutations are serialized by
+// one mutex — the heavy work (simulation, topology construction)
+// happens far above this layer.
 
 import (
 	"bufio"
@@ -24,6 +27,7 @@ const defaultSegmentBytes = 4 << 20
 
 // record is the JSONL schema of one disk entry.
 type record struct {
+	NS    string `json:"ns,omitempty"` // empty means DefaultNamespace
 	Key   string `json:"key"`
 	Value []byte `json:"value"` // encoding/json applies base64
 }
@@ -38,10 +42,13 @@ type loc struct {
 type diskTier struct {
 	mu           sync.Mutex
 	dir          string
-	index        map[string]loc
+	index        map[memKey]loc
 	cur          *os.File // append handle of the active segment
 	curID        int
 	curBytes     int64
+	segments     int   // segment files present
+	totalBytes   int64 // bytes across all segments
+	reindexed    int   // records recovered from pre-existing segments at open
 	segmentBytes int64
 	broken       bool // a write failed; stop appending, keep serving reads
 }
@@ -49,6 +56,22 @@ type diskTier struct {
 func segmentName(id int) string { return fmt.Sprintf("seg-%06d.jsonl", id) }
 
 func segmentPath(dir string, id int) string { return filepath.Join(dir, segmentName(id)) }
+
+// diskNS maps a record's on-disk namespace tag to the in-memory one.
+func diskNS(ns string) string {
+	if ns == "" {
+		return DefaultNamespace
+	}
+	return ns
+}
+
+// recordNS maps an in-memory namespace to its on-disk tag.
+func recordNS(ns string) string {
+	if ns == DefaultNamespace {
+		return ""
+	}
+	return ns
+}
 
 // openDiskTier indexes every existing segment under dir (creating the
 // directory if needed) and opens the newest one for appending.
@@ -58,7 +81,7 @@ func openDiskTier(dir string) (*diskTier, error) {
 	}
 	d := &diskTier{
 		dir:          dir,
-		index:        make(map[string]loc),
+		index:        make(map[memKey]loc),
 		segmentBytes: defaultSegmentBytes,
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
@@ -73,12 +96,17 @@ func openDiskTier(dir string) (*diskTier, error) {
 			continue
 		}
 		if err := d.indexSegment(name, id); err != nil {
-			return nil, fmt.Errorf("resultcache: indexing %s: %w", name, err)
+			return nil, fmt.Errorf("artifact: indexing %s: %w", name, err)
 		}
+		if st, err := os.Stat(name); err == nil {
+			d.totalBytes += st.Size()
+		}
+		d.segments++
 		if id > maxID {
 			maxID = id
 		}
 	}
+	d.reindexed = len(d.index)
 	d.curID = maxID
 	if d.curID == 0 {
 		d.curID = 1
@@ -94,6 +122,10 @@ func openDiskTier(dir string) (*diskTier, error) {
 	}
 	d.cur = f
 	d.curBytes = st.Size()
+	if d.segments == 0 {
+		d.segments = 1
+		d.totalBytes = st.Size()
+	}
 	return d, nil
 }
 
@@ -116,15 +148,15 @@ func (d *diskTier) indexSegment(path string, id int) error {
 		}
 		var rec record
 		if json.Unmarshal(line, &rec) == nil && rec.Key != "" {
-			d.index[rec.Key] = loc{seg: id, off: off, len: len(line)}
+			d.index[memKey{ns: diskNS(rec.NS), key: rec.Key}] = loc{seg: id, off: off, len: len(line)}
 		}
 		off += int64(len(line))
 	}
 }
 
-func (d *diskTier) get(key string) ([]byte, bool) {
+func (d *diskTier) get(ns, key string) ([]byte, bool) {
 	d.mu.Lock()
-	l, ok := d.index[key]
+	l, ok := d.index[memKey{ns: ns, key: key}]
 	d.mu.Unlock()
 	if !ok {
 		return nil, false
@@ -139,15 +171,15 @@ func (d *diskTier) get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	var rec record
-	if err := json.Unmarshal(buf, &rec); err != nil || rec.Key != key {
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.Key != key || diskNS(rec.NS) != ns {
 		return nil, false
 	}
 	return rec.Value, true
 }
 
 // put appends one record and reports whether it was durably written.
-func (d *diskTier) put(key string, value []byte) bool {
-	line, err := json.Marshal(record{Key: key, Value: value})
+func (d *diskTier) put(ns, key string, value []byte) bool {
+	line, err := json.Marshal(record{NS: recordNS(ns), Key: key, Value: value})
 	if err != nil {
 		return false
 	}
@@ -173,8 +205,9 @@ func (d *diskTier) put(key string, value []byte) bool {
 		d.broken = true
 		return false
 	}
-	d.index[key] = loc{seg: d.curID, off: d.curBytes, len: len(line)}
+	d.index[memKey{ns: ns, key: key}] = loc{seg: d.curID, off: d.curBytes, len: len(line)}
 	d.curBytes += int64(len(line))
+	d.totalBytes += int64(len(line))
 	return true
 }
 
@@ -190,7 +223,19 @@ func (d *diskTier) rotate() error {
 	}
 	d.cur = f
 	d.curBytes = 0
+	d.segments++
 	return nil
+}
+
+func (d *diskTier) stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Segments:  d.segments,
+		Bytes:     d.totalBytes,
+		Entries:   len(d.index),
+		Reindexed: d.reindexed,
+	}
 }
 
 func (d *diskTier) close() error {

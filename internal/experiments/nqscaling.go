@@ -42,13 +42,29 @@ func NQFamilies() []graph.Family {
 // selects all of NQFamilies. The computation is fully deterministic —
 // the seed axis is degenerate.
 func NQScalingScenario(families []graph.Family, n int, ks []int) *runner.Scenario[NQScalingRow] {
+	return nqScalingScenario("nqscaling", families, []int{n}, ks)
+}
+
+// NQScalingLargeScenario is the large-n variant registered as
+// "nqscaling-large": the same theorem families swept at sizes 4n and
+// 16n with a workload grid reaching k = 4096. Every size shares one
+// graph instance across its five k-points, so the sweep is only
+// tractable with the topology cache (runner.GraphCache): the dominant
+// per-cell cost — the O(n·m) exact diameter behind the min{·, D}
+// prediction — is paid once per instance instead of once per point.
+func NQScalingLargeScenario(families []graph.Family, n int) *runner.Scenario[NQScalingRow] {
+	return nqScalingScenario("nqscaling-large", families, []int{4 * n, 16 * n},
+		[]int{16, 64, 256, 1024, 4096})
+}
+
+func nqScalingScenario(name string, families []graph.Family, ns, ks []int) *runner.Scenario[NQScalingRow] {
 	if len(families) == 0 {
 		families = NQFamilies()
 	}
 	return &runner.Scenario[NQScalingRow]{
-		Name:     "nqscaling",
+		Name:     name,
 		Families: families,
-		Ns:       []int{n},
+		Ns:       ns,
 		Points:   runner.PointsK(ks),
 		Run: func(c *runner.Cell) ([]NQScalingRow, error) {
 			g, err := c.BuildGraph()
@@ -90,9 +106,18 @@ func NQScaling(n int, ks []int) ([]NQScalingRow, error) {
 
 // NQScalingData renders rows into the sink-neutral table form.
 func NQScalingData(rows []NQScalingRow) *runner.Table {
+	return nqScalingData("nqscaling", "NQ_k scaling (Theorems 15/16)", rows)
+}
+
+// NQScalingLargeData renders the large-n sweep's rows.
+func NQScalingLargeData(rows []NQScalingRow) *runner.Table {
+	return nqScalingData("nqscaling-large", "NQ_k scaling at large n (Theorems 15/16)", rows)
+}
+
+func nqScalingData(name, title string, rows []NQScalingRow) *runner.Table {
 	t := &runner.Table{
-		Name:   "nqscaling",
-		Title:  "NQ_k scaling (Theorems 15/16)",
+		Name:   name,
+		Title:  title,
 		Header: []string{"family", "n", "D", "k", "NQ_k", "Θ(k^{1/(d+1)}) pred.", "ratio"},
 		Keys:   []string{"family", "n", "diameter", "k", "nq", "predicted", "ratio"},
 	}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+)
+
+// TestNQScalingLargeGeneratesWithGraphReuse runs the large-n artifact
+// at test scale and pins its defining property: each (family, n)
+// instance is built exactly once for all five k-points.
+func TestNQScalingLargeGeneratesWithGraphReuse(t *testing.T) {
+	gc := runner.NewGraphCache(nil, 0)
+	r := &runner.Runner{Workers: 4, Graphs: gc}
+	fams := []graph.Family{graph.FamilyPath, graph.FamilyGrid2D}
+	tables, err := Generate("nqscaling-large", ReportConfig{N: 16, Families: fams}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "nqscaling-large" {
+		t.Fatalf("Generate(nqscaling-large) returned %+v", tables)
+	}
+	// 2 families × 2 sizes × 5 k-points = 20 rows from 4 graphs.
+	if got := len(tables[0].Rows); got != 20 {
+		t.Fatalf("got %d rows, want 20", got)
+	}
+	if st := gc.Stats(); st.Builds != 4 {
+		t.Fatalf("large sweep built %d graphs, want 4 (one per family × size): %+v", st.Builds, st)
+	}
+}
+
+// TestNQScalingLargeExcludedFromDefaultReport: the quick sweep
+// (WriteReport with zero-value selection) must not pay for the large
+// grid; the artifact is reachable only by name.
+func TestNQScalingLargeExcludedFromDefaultReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ReportConfig{N: 16, Families: []graph.Family{graph.FamilyPath}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "nqscaling-large") || strings.Contains(buf.String(), "large n") {
+		t.Fatalf("default report includes the large-n artifact:\n%s", buf.String())
+	}
+}
+
+// TestNQScalingLargeFamilyRestriction mirrors genNQ's behaviour: a
+// restriction outside the theorem families yields an empty table, not
+// an error.
+func TestNQScalingLargeFamilyRestriction(t *testing.T) {
+	tables, err := Generate("nqscaling-large", ReportConfig{N: 16, Families: []graph.Family{graph.FamilyExpander}}, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 0 {
+		t.Fatalf("restriction outside NQFamilies: %+v", tables)
+	}
+}

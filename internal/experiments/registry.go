@@ -63,6 +63,11 @@ var registry = []struct {
 		Title:   "Figure 1 — the k-SSP complexity landscape",
 		Summary: "Round complexity of k-source shortest paths across k = n^β (Theorem 14), worst-case path versus grid.",
 	}, genFigure1},
+	{Artifact{
+		Name:    "nqscaling-large",
+		Title:   "NQ_k scaling at large n (Theorems 15/16)",
+		Summary: "The Theorem 15/16 analysis on 4n- and 16n-node instances with k up to 4096 — a sweep sized for the shared topology cache (each instance is built once and reused across all k-points); excluded from the default quick report.",
+	}, genNQLarge},
 }
 
 // Artifacts returns the registered report artifacts in canonical
@@ -105,30 +110,55 @@ func lookup(name string) (generator, bool) {
 	return nil, false
 }
 
-func genNQ(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
-	// An explicit family restriction intersects with the families the
-	// Theorem 15/16 predictions cover.
+// nqFamilyIntersection applies an explicit family restriction to the
+// families the Theorem 15/16 predictions cover. The second result is
+// false when the restriction excludes every covered family.
+func nqFamilyIntersection(cfg ReportConfig) ([]graph.Family, bool) {
 	fams := NQFamilies()
-	if len(cfg.Families) > 0 {
-		covered := make(map[graph.Family]bool)
-		for _, f := range fams {
-			covered[f] = true
+	if len(cfg.Families) == 0 {
+		return fams, true
+	}
+	covered := make(map[graph.Family]bool)
+	for _, f := range fams {
+		covered[f] = true
+	}
+	fams = nil
+	for _, f := range cfg.Families {
+		if covered[f] {
+			fams = append(fams, f)
 		}
-		fams = nil
-		for _, f := range cfg.Families {
-			if covered[f] {
-				fams = append(fams, f)
-			}
-		}
-		if len(fams) == 0 {
-			return []*runner.Table{NQScalingData(nil)}, nil
-		}
+	}
+	return fams, len(fams) > 0
+}
+
+func genNQ(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	fams, ok := nqFamilyIntersection(cfg)
+	if !ok {
+		return []*runner.Table{NQScalingData(nil)}, nil
 	}
 	rows, err := runner.Collect(r, NQScalingScenario(fams, cfg.N, []int{16, 64, 256, 1024}))
 	if err != nil {
 		return nil, err
 	}
 	return []*runner.Table{NQScalingData(rows)}, nil
+}
+
+// genNQLarge sweeps the large-n Theorem 15/16 grid. It is registered
+// for the sweep service and Generate but excluded from the default
+// WriteReport selection: at report scale the instances reach 16·n
+// nodes, which is only worth sweeping when the runner carries a
+// topology cache (the sweep service always does; WriteReport attaches
+// one too).
+func genNQLarge(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	fams, ok := nqFamilyIntersection(cfg)
+	if !ok {
+		return []*runner.Table{NQScalingLargeData(nil)}, nil
+	}
+	rows, err := runner.Collect(r, NQScalingLargeScenario(fams, cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{NQScalingLargeData(rows)}, nil
 }
 
 func genTable1(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {

@@ -90,7 +90,12 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 	if err != nil {
 		return err
 	}
-	run := &runner.Runner{Workers: cfg.Workers}
+	// One topology cache for the whole report: within each section the
+	// sweep points share their (family, n, GraphSeed) instance, so every
+	// distinct graph is built exactly once. Sharing does not change the
+	// output — a cached instance is byte-identical to a per-cell build
+	// (DESIGN.md §9).
+	run := &runner.Runner{Workers: cfg.Workers, Graphs: runner.NewGraphCache(nil, 0)}
 	var names []string
 	if cfg.NQ {
 		names = append(names, "nq")

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Inf is the sentinel distance for unreachable nodes. It is chosen so that
@@ -38,8 +39,11 @@ type Graph struct {
 	adj [][]Edge
 	m   int
 	// diam caches Diameter(); 0 means "not computed" (recomputing a
-	// diameter-0 graph is free). Invalidated by AddEdge.
-	diam int64
+	// diameter-0 graph is free). Invalidated by AddEdge. Atomic so a
+	// frozen graph shared by concurrent sweep cells (runner.GraphCache)
+	// may compute it lazily from any of them: the value is a pure
+	// function of the graph, so racing writers store the same number.
+	diam atomic.Int64
 	// csr is the frozen flat representation; non-nil once Freeze ran.
 	csr *csr
 	// ballPool recycles the epoch-marked scratch of Ball and BallSizes,
@@ -84,7 +88,7 @@ func (g *Graph) AddEdge(u, v int, w int64) error {
 	g.adj[u] = append(g.adj[u], Edge{To: int32(v), W: w})
 	g.adj[v] = append(g.adj[v], Edge{To: int32(u), W: w})
 	g.m++
-	g.diam = 0
+	g.diam.Store(0)
 	return nil
 }
 
@@ -170,7 +174,8 @@ func (g *Graph) Edges() []UndirectedEdge {
 
 // Clone returns a deep copy of g. A frozen graph clones frozen.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m, diam: g.diam}
+	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m}
+	c.diam.Store(g.diam.Load())
 	for v, es := range g.adj {
 		c.adj[v] = append([]Edge(nil), es...)
 	}

@@ -212,20 +212,20 @@ func (g *Graph) Eccentricity(v int) int64 {
 // a BFS from every node (O(n·m), cached until the graph changes); Inf for
 // disconnected graphs.
 func (g *Graph) Diameter() int64 {
-	if g.diam != 0 {
-		return g.diam
+	if d := g.diam.Load(); d != 0 {
+		return d
 	}
 	var d int64
 	for v := 0; v < g.N(); v++ {
 		if e := g.Eccentricity(v); e > d {
 			d = e
 			if d >= Inf {
-				g.diam = Inf
+				g.diam.Store(Inf)
 				return Inf
 			}
 		}
 	}
-	g.diam = d
+	g.diam.Store(d)
 	return d
 }
 

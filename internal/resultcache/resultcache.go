@@ -11,206 +11,62 @@
 // valid for exactly one (graph instance, model, workload) coordinate
 // and byte-reproducible from it (DESIGN.md §3, §7).
 //
-// Two tiers: a sharded in-memory LRU bounded by a byte budget, and an
+// Since the artifact layer landed (DESIGN.md §9), this package is a
+// thin compatibility shim: a Cache is the artifact.DefaultNamespace
+// ("results") view of an internal/artifact.Store, which provides the
+// two tiers — a sharded in-memory LRU bounded by a byte budget and an
 // optional append-only disk tier of JSONL segments that survives
-// process restarts. Gets fall through memory to disk (promoting hits);
-// Puts write through to both. A Cache satisfies runner.CellCache and is
-// safe for concurrent use.
+// process restarts. The disk format is unchanged, so segments written
+// by earlier versions of this package remain readable. A Cache
+// satisfies runner.CellCache and is safe for concurrent use.
 package resultcache
 
-import (
-	"container/list"
-	"hash/fnv"
-	"sync"
-	"sync/atomic"
-)
-
-// shardCount spreads lock contention; keys are uniform (SHA-256 hex),
-// so a power of two gives balanced shards.
-const shardCount = 16
+import "repro/internal/artifact"
 
 // DefaultMaxBytes is the in-memory budget used when New is given a
 // non-positive one.
-const DefaultMaxBytes = 64 << 20
+const DefaultMaxBytes = artifact.DefaultMaxBytes
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
-type Stats struct {
-	// Hits counts Gets served from memory or disk.
-	Hits uint64 `json:"hits"`
-	// Misses counts Gets served by neither tier.
-	Misses uint64 `json:"misses"`
-	// Puts counts stored values.
-	Puts uint64 `json:"puts"`
-	// Evictions counts entries dropped from the memory tier by the LRU
-	// policy (they remain readable from the disk tier, if enabled).
-	Evictions uint64 `json:"evictions"`
-	// DiskHits counts the subset of Hits that fell through to the disk
-	// tier (and were promoted back into memory).
-	DiskHits uint64 `json:"disk_hits"`
-	// DiskPuts counts records appended to the disk tier.
-	DiskPuts uint64 `json:"disk_puts"`
-	// Entries and Bytes describe the current memory tier.
-	Entries int   `json:"entries"`
-	Bytes   int64 `json:"bytes"`
-}
+type Stats = artifact.Stats
 
-// HitRate returns Hits/(Hits+Misses), or 0 before any Get.
-func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
-
-// Cache is a two-tier content-addressed store. The zero value is not
+// Cache is a two-tier content-addressed store of encoded cell rows —
+// the "results" namespace of an artifact.Store. The zero value is not
 // usable; construct with New or NewWithDisk.
 type Cache struct {
-	shards [shardCount]shard
-	disk   *diskTier
-
-	hits, misses, puts, evictions, diskHits, diskPuts atomic.Uint64
-}
-
-type shard struct {
-	mu       sync.Mutex
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
-	bytes    int64
-	maxBytes int64
-}
-
-type entry struct {
-	key   string
-	value []byte
+	store *artifact.Store
+	ns    *artifact.Namespace
 }
 
 // New returns a memory-only cache bounded by maxBytes (non-positive
 // means DefaultMaxBytes).
 func New(maxBytes int64) *Cache {
-	if maxBytes <= 0 {
-		maxBytes = DefaultMaxBytes
-	}
-	c := &Cache{}
-	per := maxBytes / shardCount
-	if per < 1 {
-		per = 1
-	}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[string]*list.Element)
-		c.shards[i].lru = list.New()
-		c.shards[i].maxBytes = per
-	}
-	return c
+	store := artifact.NewStore(maxBytes)
+	return &Cache{store: store, ns: store.Namespace(artifact.DefaultNamespace)}
 }
 
 // NewWithDisk returns a cache whose entries additionally persist as
 // JSONL segments under dir; existing segments are indexed on open, so a
 // new process serves the previous process's results from disk.
 func NewWithDisk(maxBytes int64, dir string) (*Cache, error) {
-	c := New(maxBytes)
-	d, err := openDiskTier(dir)
+	store, err := artifact.NewStoreWithDisk(maxBytes, dir)
 	if err != nil {
 		return nil, err
 	}
-	c.disk = d
-	return c, nil
+	return &Cache{store: store, ns: store.Namespace(artifact.DefaultNamespace)}, nil
 }
 
 // Close releases the disk tier (a memory-only cache needs no Close).
-func (c *Cache) Close() error {
-	if c.disk != nil {
-		return c.disk.close()
-	}
-	return nil
-}
-
-func (c *Cache) shard(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%shardCount]
-}
+func (c *Cache) Close() error { return c.store.Close() }
 
 // Get returns the value stored under key. The returned slice is shared
 // and must be treated as read-only. Disk-tier hits are promoted into
 // the memory tier.
-func (c *Cache) Get(key string) ([]byte, bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.lru.MoveToFront(el)
-		v := el.Value.(*entry).value
-		s.mu.Unlock()
-		c.hits.Add(1)
-		return v, true
-	}
-	s.mu.Unlock()
-	if c.disk != nil {
-		if v, ok := c.disk.get(key); ok {
-			c.insert(key, v)
-			c.hits.Add(1)
-			c.diskHits.Add(1)
-			return v, true
-		}
-	}
-	c.misses.Add(1)
-	return nil, false
-}
+func (c *Cache) Get(key string) ([]byte, bool) { return c.ns.Get(key) }
 
 // Put stores value under key in both tiers. Values are treated as
 // immutable after Put.
-func (c *Cache) Put(key string, value []byte) {
-	c.puts.Add(1)
-	c.insert(key, value)
-	if c.disk != nil {
-		if c.disk.put(key, value) {
-			c.diskPuts.Add(1)
-		}
-	}
-}
-
-// insert places the value into the memory tier and evicts from the LRU
-// tail down to the shard budget. The newest entry always stays: a value
-// larger than the whole shard budget is still cached (alone).
-func (c *Cache) insert(key string, value []byte) {
-	s := c.shard(key)
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		e := el.Value.(*entry)
-		s.bytes += int64(len(value)) - int64(len(e.value))
-		e.value = value
-		s.lru.MoveToFront(el)
-	} else {
-		s.entries[key] = s.lru.PushFront(&entry{key: key, value: value})
-		s.bytes += int64(len(value))
-	}
-	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
-		back := s.lru.Back()
-		e := back.Value.(*entry)
-		s.lru.Remove(back)
-		delete(s.entries, e.key)
-		s.bytes -= int64(len(e.value))
-		c.evictions.Add(1)
-	}
-	s.mu.Unlock()
-}
+func (c *Cache) Put(key string, value []byte) { c.ns.Put(key, value) }
 
 // Stats snapshots the counters and the memory-tier footprint.
-func (c *Cache) Stats() Stats {
-	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Puts:      c.puts.Load(),
-		Evictions: c.evictions.Load(),
-		DiskHits:  c.diskHits.Load(),
-		DiskPuts:  c.diskPuts.Load(),
-	}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		st.Entries += s.lru.Len()
-		st.Bytes += s.bytes
-		s.mu.Unlock()
-	}
-	return st
-}
+func (c *Cache) Stats() Stats { return c.ns.Stats() }

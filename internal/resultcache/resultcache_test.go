@@ -1,5 +1,10 @@
 package resultcache
 
+// Shim-surface tests: the Cache API (New/NewWithDisk/Get/Put/Stats/
+// Close) over the artifact layer. The tier mechanics themselves — LRU
+// eviction order, segment rotation, namespace isolation — are pinned by
+// internal/artifact's own suite.
+
 import (
 	"bytes"
 	"fmt"
@@ -38,57 +43,7 @@ func TestGetPutRoundTrip(t *testing.T) {
 	}
 }
 
-// TestEvictionOrder pins the LRU policy on a single shard's budget:
-// touching an entry saves it from eviction, the least recently used one
-// goes first.
-func TestEvictionOrder(t *testing.T) {
-	// Budget for 3 × 100-byte values per shard. All keys are forced
-	// into one shard by probing (shardCount is 16; generate keys until
-	// 4 land together).
-	c := New(300 * shardCount)
-	target := c.shard("anchor")
-	var keys []string
-	for i := 0; len(keys) < 4; i++ {
-		k := fmt.Sprintf("key-%d", i)
-		if c.shard(k) == target {
-			keys = append(keys, k)
-		}
-	}
-	val := bytes.Repeat([]byte("x"), 100)
-	c.Put(keys[0], val)
-	c.Put(keys[1], val)
-	c.Put(keys[2], val) // shard full: [2 1 0]
-	if _, ok := c.Get(keys[0]); !ok {
-		t.Fatal("keys[0] evicted prematurely")
-	}
-	// LRU order now [0 2 1]; inserting keys[3] must evict keys[1].
-	c.Put(keys[3], val)
-	if _, ok := c.Get(keys[1]); ok {
-		t.Fatal("LRU entry keys[1] survived over-budget insert")
-	}
-	for _, k := range []string{keys[0], keys[2], keys[3]} {
-		if _, ok := c.Get(k); !ok {
-			t.Fatalf("%s evicted out of LRU order", k)
-		}
-	}
-	if st := c.Stats(); st.Evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", st.Evictions)
-	}
-}
-
-// TestOversizedValueStillCached: a value above the shard budget is kept
-// (alone) rather than thrashing.
-func TestOversizedValueStillCached(t *testing.T) {
-	c := New(10 * shardCount)
-	big := bytes.Repeat([]byte("y"), 1000)
-	c.Put("big", big)
-	v, ok := c.Get("big")
-	if !ok || !bytes.Equal(v, big) {
-		t.Fatal("oversized value not cached")
-	}
-}
-
-// TestConcurrentGetPut hammers all shards from many goroutines; under
+// TestConcurrentGetPut hammers the cache from many goroutines; under
 // -race this is the data-race certification for the serving path.
 func TestConcurrentGetPut(t *testing.T) {
 	c := New(1 << 16) // small enough to force concurrent evictions
@@ -154,44 +109,6 @@ func TestDiskTierRoundTrip(t *testing.T) {
 	if st.DiskHits != 50 || st.Hits != 50 {
 		t.Fatalf("restart stats %+v", st)
 	}
-	// Promoted entries now hit memory (DiskHits stays put).
-	if _, ok := c2.Get("cell-000"); !ok {
-		t.Fatal("promoted entry missing")
-	}
-	if st := c2.Stats(); st.DiskHits != 50 {
-		t.Fatalf("memory hit counted as disk hit: %+v", st)
-	}
-}
-
-// TestDiskSegmentRotation forces tiny segments and checks records stay
-// readable across many files, including after reopen.
-func TestDiskSegmentRotation(t *testing.T) {
-	dir := t.TempDir()
-	c, err := NewWithDisk(1<<20, dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.disk.segmentBytes = 256 // force rotation every couple of records
-	for i := 0; i < 40; i++ {
-		c.Put(fmt.Sprintf("rot-%02d", i), bytes.Repeat([]byte{byte('a' + i%26)}, 50))
-	}
-	c.Close()
-	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
-	if len(segs) < 3 {
-		t.Fatalf("expected rotation to produce several segments, got %v", segs)
-	}
-	c2, err := NewWithDisk(1<<20, dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c2.Close()
-	for i := 0; i < 40; i++ {
-		k := fmt.Sprintf("rot-%02d", i)
-		v, ok := c2.Get(k)
-		if !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte('a' + i%26)}, 50)) {
-			t.Fatalf("lost %s across rotation+reopen", k)
-		}
-	}
 }
 
 // TestDiskIgnoresTrailingGarbage: a truncated final line (crashed
@@ -204,7 +121,7 @@ func TestDiskIgnoresTrailingGarbage(t *testing.T) {
 	}
 	c.Put("good", []byte("value"))
 	c.Close()
-	seg := filepath.Join(dir, segmentName(1))
+	seg := filepath.Join(dir, "seg-000001.jsonl")
 	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +146,7 @@ func TestDiskIgnoresTrailingGarbage(t *testing.T) {
 func TestMemoryEvictionFallsThroughToDisk(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny memory budget: every shard holds ~1 value.
-	c, err := NewWithDisk(64*shardCount, dir)
+	c, err := NewWithDisk(64*16, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

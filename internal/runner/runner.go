@@ -117,7 +117,8 @@ type Cell struct {
 	// (families outermost, then sizes, seeds, points).
 	Index int
 
-	model hybrid.Config
+	model  hybrid.Config
+	graphs *GraphCache // set by Collect from Runner.Graphs; nil = build per cell
 }
 
 func (c *Cell) String() string {
@@ -172,8 +173,17 @@ func (c *Cell) GraphSeed() int64 { return c.DeriveSeed("graph") }
 // Rng returns a fresh point-dependent random stream for the cell.
 func (c *Cell) Rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed())) }
 
-// BuildGraph constructs the cell's graph instance from GraphSeed.
+// BuildGraph returns the cell's graph instance for GraphSeed. With a
+// GraphCache attached (Runner.Graphs) the returned graph is the shared
+// frozen instance every cell of the same (family, n, GraphSeed)
+// coordinate sees — built exactly once, identical to a per-cell build;
+// without one it is constructed fresh. Either way callers must treat
+// the graph as immutable (it is frozen; derive copies via Clone,
+// Reweight or Subgraph to modify).
 func (c *Cell) BuildGraph() (*graph.Graph, error) {
+	if c.graphs != nil {
+		return c.graphs.Get(c.Family, c.N, c.GraphSeed())
+	}
 	return graph.Build(c.Family, c.N, rand.New(rand.NewSource(c.GraphSeed())))
 }
 
@@ -256,6 +266,13 @@ type Runner struct {
 	// CacheVersion is the code-version component of the cache key;
 	// empty means CodeVersion.
 	CacheVersion string
+	// Graphs, when non-nil, deduplicates topology construction: every
+	// cell resolves BuildGraph through this cache, so each distinct
+	// (family, n, GraphSeed) coordinate is built exactly once and the
+	// frozen instance is shared across points, sweeps, and Pool
+	// tenants (DESIGN.md §9). Rows are unchanged — the shared instance
+	// is byte-identical to a per-cell build.
+	Graphs *GraphCache
 	// Observer, when non-nil, receives one CellEvent per cell (from
 	// worker goroutines; it must be safe for concurrent use).
 	Observer CellObserver
@@ -308,6 +325,11 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 		return nil, fmt.Errorf("runner: scenario %q has no Run function", sc.Name)
 	}
 	cells := Cells(sc)
+	if r != nil && r.Graphs != nil {
+		for i := range cells {
+			cells[i].graphs = r.Graphs
+		}
+	}
 	results := make([][]T, len(cells))
 	errs := make([]error, len(cells))
 
