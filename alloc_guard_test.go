@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hybrid"
+	"repro/internal/nq"
 )
 
 func requireAllocFree(t *testing.T) {
@@ -87,6 +88,37 @@ func TestCoreLoadRoundsAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("LoadRounds allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCoreNQOfAllocFree pins nq.Of's max-only paths at zero steady-state
+// allocations: unlike PerNode it must not materialize a per-node slice,
+// on either the early-exit kernel path or the profile binary-search
+// path (the diameter and the pooled ball scratch are warmed first).
+func TestCoreNQOfAllocFree(t *testing.T) {
+	requireAllocFree(t)
+	kernel := coreGrid()
+	profiled := coreGrid()
+	profiled.AttachProfiles(profiled.BallProfiles(graph.ProfileRadius(profiled.N(), profiled.Diameter())))
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"kernel", kernel},
+		{"profile", profiled},
+	} {
+		// Warm the diameter cache and the pooled scratch.
+		if _, err := nq.Of(tc.g, 64); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := nq.Of(tc.g, 64); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("nq.Of (%s path) allocates %.1f times per run, want 0", tc.name, allocs)
+		}
 	}
 }
 

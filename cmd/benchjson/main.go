@@ -11,6 +11,19 @@
 // With -count > 1 the median ns/op (and its allocs/op) per benchmark is
 // reported. Output rows are sorted by benchmark name, so the document is
 // deterministic for a fixed pair of inputs.
+//
+// With -verify the command flips from producer to linter: each
+// argument names a benchjson JSONL record, and every non-empty speedup
+// field must be at least -floor (default 1.0). CI runs it over the
+// committed BENCH_*.json files, so a record that no longer describes
+// an optimization — a regenerated baseline whose win has slipped below
+// break-even, or a join that lost its speedup column — fails the
+// build. (Runtime drift is surfaced separately: the bench job uploads
+// freshly rendered BENCH_*_run.json artifacts whose speedup column
+// compares the committed numbers against this run, deliberately
+// ungated because single-iteration CI runs are noisy.)
+//
+//	benchjson -verify BENCH_core.json BENCH_sweep.json BENCH_nq.json
 package main
 
 import (
@@ -40,15 +53,21 @@ func run(args []string, w io.Writer) error {
 		"Render `go test -bench` output as JSONL through the runner sink, optionally joined against a baseline.",
 		"go test -run '^$' -bench BenchmarkCore . | benchjson",
 		"benchjson -baseline BENCH_core.json -current bench.txt > BENCH_core_run.json",
+		"benchjson -verify BENCH_core.json BENCH_sweep.json BENCH_nq.json",
 	)
 	baselinePath := fs.String("baseline", "", "baseline measurement (bench text or benchjson JSONL); optional")
 	currentPath := fs.String("current", "", "current measurement (bench text); default stdin")
 	table := fs.String("table", "bench_core", "table name stamped on every output row (e.g. bench_sweep)")
+	verify := fs.Bool("verify", false, "verify committed JSONL records (the positional args) instead of producing one")
+	floor := fs.Float64("floor", 1.0, "minimum speedup every verified record row must hold (with -verify)")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
 		}
 		return err
+	}
+	if *verify {
+		return verifyRecords(w, fs.Args(), *floor)
 	}
 
 	var cur []byte
@@ -193,3 +212,63 @@ func write(w io.Writer, table string, baseline, current map[string]measurement) 
 }
 
 func formatNs(ns float64) string { return strconv.FormatFloat(ns, 'f', 1, 64) }
+
+// verifyRecords is the CI regression gate: every non-empty speedup
+// field of every named benchjson JSONL record must be ≥ floor, so a
+// committed perf artifact whose optimization has slipped below
+// break-even fails loudly instead of rotting.
+func verifyRecords(w io.Writer, paths []string, floor float64) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-verify needs at least one JSONL record argument")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rows, checked := 0, 0
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var row map[string]string
+			if err := json.Unmarshal(line, &row); err != nil {
+				return fmt.Errorf("%s: bad JSONL line %q: %v", path, line, err)
+			}
+			name := row["benchmark"]
+			if name == "" {
+				continue
+			}
+			rows++
+			sp := row["speedup"]
+			if sp == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(sp, 64)
+			if err != nil {
+				return fmt.Errorf("%s: %s: bad speedup %q: %v", path, name, sp, err)
+			}
+			checked++
+			if v < floor {
+				return fmt.Errorf("%s: %s: speedup %.2f below floor %.2f", path, name, v, floor)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if rows == 0 {
+			return fmt.Errorf("%s: no benchmark rows", path)
+		}
+		if checked == 0 {
+			// A committed record with only empty speedups (e.g. joined
+			// without -baseline) records no optimization — gating on it
+			// would pass vacuously forever.
+			return fmt.Errorf("%s: %d rows but no speedup fields to verify", path, rows)
+		}
+		fmt.Fprintf(w, "%s: %d rows, %d speedups ≥ %.2f\n", path, rows, checked, floor)
+	}
+	return nil
+}

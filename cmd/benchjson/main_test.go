@@ -85,6 +85,53 @@ func TestBenchjsonErrorsOnEmptyInput(t *testing.T) {
 	}
 }
 
+// TestBenchjsonVerify pins the CI regression gate: committed records
+// pass at the default floor, a row below the floor fails and names the
+// offending benchmark, and empty speedups (no baseline) are ignored.
+func TestBenchjsonVerify(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(
+		`{"table":"bench_core","benchmark":"BenchmarkA","speedup":"28.33"}`+"\n"+
+			`{"table":"bench_core","benchmark":"BenchmarkB","speedup":"1.00"}`+"\n"+
+			`{"table":"bench_core","benchmark":"BenchmarkC","speedup":""}`+"\n"), 0o644)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(
+		`{"table":"bench_core","benchmark":"BenchmarkA","speedup":"0.83"}`+"\n"), 0o644)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-verify", good}, &buf); err != nil {
+		t.Fatalf("good record failed verification: %v", err)
+	}
+	if !strings.Contains(buf.String(), "3 rows, 2 speedups") {
+		t.Fatalf("summary wrong: %s", buf.String())
+	}
+	err := run([]string{"-verify", good, bad}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "0.83") {
+		t.Fatalf("regressed record not flagged: %v", err)
+	}
+	// A custom floor flags rows the default would pass.
+	if err := run([]string{"-verify", "-floor", "2.0", good}, &bytes.Buffer{}); err == nil {
+		t.Fatal("floor 2.0 accepted a 1.00 speedup")
+	}
+	if err := run([]string{"-verify"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("verify without files accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, nil, 0o644)
+	if err := run([]string{"-verify", empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	// A record whose rows all lack speedups (e.g. joined without
+	// -baseline) must fail rather than pass vacuously.
+	noSpeedups := filepath.Join(dir, "nospeedups.json")
+	os.WriteFile(noSpeedups, []byte(
+		`{"table":"bench_core","benchmark":"BenchmarkA","speedup":""}`+"\n"), 0o644)
+	if err := run([]string{"-verify", noSpeedups}, &bytes.Buffer{}); err == nil {
+		t.Fatal("record without speedup fields accepted")
+	}
+}
+
 // TestUsageShape pins the shared cliutil -h format every binary emits.
 func TestUsageShape(t *testing.T) {
 	var buf bytes.Buffer

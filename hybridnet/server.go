@@ -1,13 +1,15 @@
 package hybridnet
 
-// The sweep service (DESIGN.md §7, §9): a long-running server over the
-// scenario registry of internal/experiments, with a shared fair
-// worker pool (runner.Pool) as the batching admission layer and a
+// The sweep service (DESIGN.md §7, §9, §10): a long-running server
+// over the scenario registry of internal/experiments, with a shared
+// fair worker pool (runner.Pool) as the batching admission layer and a
 // namespaced content-addressed artifact store (internal/artifact)
 // underneath — result rows in one namespace, frozen CSR topologies in
-// another — so repeated cells are served without re-simulation and
-// every distinct graph instance is built exactly once across points,
-// sweeps, and restarts. cmd/hybridd is the stdlib net/http binary over
+// a second, derived ball-profile artifacts in a third — so repeated
+// cells are served without re-simulation, every distinct graph
+// instance is built exactly once across points, sweeps, and restarts,
+// and every NQ-bearing sweep grows each instance's ball profiles
+// exactly once. cmd/hybridd is the stdlib net/http binary over
 // Handler; everything here is equally usable in-process
 // (NewServer / Submit / Wait / WriteResults).
 
@@ -29,6 +31,10 @@ import (
 // topologies (artifact.DefaultNamespace holds the result rows).
 const graphNamespace = "graphs"
 
+// profileNamespace is the artifact namespace holding encoded
+// ball-profile artifacts derived from the topologies (DESIGN.md §10).
+const profileNamespace = "profiles"
+
 // ScenarioInfo describes one sweepable artifact of the scenario
 // registry, as listed by GET /v1/scenarios.
 type ScenarioInfo = experiments.Artifact
@@ -42,6 +48,10 @@ type CacheStats struct {
 	// GraphCache counts decoded-topology traffic: builds, shared-
 	// instance hits, blob-store restores, singleflight joins.
 	GraphCache runner.GraphCacheStats `json:"graph_cache"`
+	// ProfileCache counts derived ball-profile traffic: batch-kernel
+	// computations, attached-artifact hits, blob-store restores,
+	// singleflight joins (DESIGN.md §10).
+	ProfileCache runner.ProfileCacheStats `json:"profile_cache"`
 }
 
 // Sweep-lifecycle errors.
@@ -152,11 +162,12 @@ func (sw *sweep) status() SweepStatus {
 // result cache, and the sweep store. Create with NewServer; always
 // Close (it drains in-flight sweeps and releases the cache).
 type Server struct {
-	pool    *runner.Pool
-	store   *artifact.Store     // nil when caching is disabled
-	results *artifact.Namespace // result-row namespace of store
-	graphs  *runner.GraphCache  // always present; store-backed when possible
-	version string
+	pool     *runner.Pool
+	store    *artifact.Store      // nil when caching is disabled
+	results  *artifact.Namespace  // result-row namespace of store
+	graphs   *runner.GraphCache   // always present; store-backed when possible
+	profiles *runner.ProfileCache // always present; store-backed when possible
+	version  string
 
 	mu     sync.Mutex
 	sweeps map[string]*sweep
@@ -185,23 +196,29 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			s.store = artifact.NewStore(cfg.CacheBytes)
 		}
 		s.results = s.store.Namespace(artifact.DefaultNamespace)
-		// The decoded-instance cache in front of the graph namespace is
-		// the real memory tier for topologies: CSR blobs only belong on
-		// disk (write-through would evict result rows from the shared
-		// byte budget while duplicating every decoded graph). Without a
-		// disk tier the namespace has nothing to offer over a rebuild,
-		// so the topology cache runs store-less.
+		// The decoded-instance caches in front of the graph and profile
+		// namespaces are the real memory tier for those artifacts:
+		// their blobs only belong on disk (write-through would evict
+		// result rows from the shared byte budget while duplicating
+		// every decoded artifact). Without a disk tier the namespaces
+		// have nothing to offer over a recomputation, so both caches
+		// run store-less.
 		if cfg.CacheDir != "" {
 			gns := s.store.Namespace(graphNamespace)
 			gns.SetDiskOnlyPuts(true)
 			s.graphs = runner.NewGraphCache(gns, 0)
+			pns := s.store.Namespace(profileNamespace)
+			pns.SetDiskOnlyPuts(true)
+			s.profiles = runner.NewProfileCache(pns, 0)
 		} else {
 			s.graphs = runner.NewGraphCache(nil, 0)
+			s.profiles = runner.NewProfileCache(nil, 0)
 		}
 	} else {
-		// No artifact store: topologies are still built once and
-		// shared, just not persisted.
+		// No artifact store: topologies and profiles are still built
+		// once and shared, just not persisted.
 		s.graphs = runner.NewGraphCache(nil, 0)
+		s.profiles = runner.NewProfileCache(nil, 0)
 	}
 	s.pool = runner.NewPool(cfg.Workers)
 	return s, nil
@@ -233,7 +250,7 @@ func (s *Server) Scenarios() []ScenarioInfo { return experiments.Artifacts() }
 // counters; zero StoreStats when caching is disabled) and the topology
 // cache.
 func (s *Server) CacheStats() CacheStats {
-	st := CacheStats{GraphCache: s.graphs.Stats()}
+	st := CacheStats{GraphCache: s.graphs.Stats(), ProfileCache: s.profiles.Stats()}
 	if s.store != nil {
 		st.StoreStats = s.store.Stats()
 	}
@@ -328,6 +345,7 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 		Pool:         s.pool,
 		CacheVersion: s.version,
 		Graphs:       s.graphs,
+		Profiles:     s.profiles,
 		Observer: func(ev runner.CellEvent) {
 			sw.mu.Lock()
 			sw.cells++

@@ -244,6 +244,69 @@ func TestServerTopologyPersistsAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestServerProfileArtifacts: an NQ sweep grows each topology's
+// ball-profile artifact exactly once across all its workload points
+// (DESIGN.md §10), a resubmission computes zero, and — like the
+// topologies — the version-less profile content addresses let a
+// restarted server under a bumped code version restore every artifact
+// from the disk tier while re-simulating the rows.
+func TestServerProfileArtifacts(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1 := newTestServer(t, hybridnet.ServerConfig{CacheDir: dir, Version: "v1"})
+	st, err := srv1.Submit(nqPathRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = srv1.Wait(st.ID); err != nil || st.State != hybridnet.SweepDone {
+		t.Fatalf("first sweep: %+v, %v", st, err)
+	}
+	cold := srv1.CacheStats()
+	if cold.ProfileCache.Computes != 1 {
+		t.Fatalf("cold sweep computed %d profiles for one topology: %+v", cold.ProfileCache.Computes, cold.ProfileCache)
+	}
+	if ns, ok := cold.Namespaces["profiles"]; !ok || ns.Puts != 1 {
+		t.Fatalf("profiles namespace saw no traffic on /v1/cache/stats: %+v", cold.Namespaces)
+	}
+
+	// Resubmission: every cell resolves from the result cache, so no
+	// profile work happens at all.
+	req := nqPathRequest()
+	req.Fresh = true
+	st2, err := srv1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, err = srv1.Wait(st2.ID); err != nil || st2.State != hybridnet.SweepDone {
+		t.Fatalf("fresh sweep: %+v, %v", st2, err)
+	}
+	if warm := srv1.CacheStats(); warm.ProfileCache.Computes != cold.ProfileCache.Computes {
+		t.Fatalf("resubmitted sweep recomputed profiles: %+v vs %+v", warm.ProfileCache, cold.ProfileCache)
+	}
+	coldResults := results(t, srv1, st.ID, "md")
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Version bump orphans the result rows but not the derived
+	// artifacts: the re-simulated sweep decodes its profiles from disk.
+	srv2 := newTestServer(t, hybridnet.ServerConfig{CacheDir: dir, Version: "v2"})
+	st3, err := srv2.Submit(nqPathRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3, err = srv2.Wait(st3.ID); err != nil || st3.State != hybridnet.SweepDone {
+		t.Fatalf("restarted sweep: %+v, %v", st3, err)
+	}
+	pc := srv2.CacheStats().ProfileCache
+	if pc.Computes != 0 || pc.StoreHits == 0 {
+		t.Fatalf("restarted server recomputed profiles instead of restoring: %+v", pc)
+	}
+	if warm := results(t, srv2, st3.ID, "md"); !bytes.Equal(coldResults, warm) {
+		t.Fatalf("results differ across restart:\n%s\nvs\n%s", coldResults, warm)
+	}
+}
+
 // TestServerConcurrentSweeps drives distinct sweeps through the shared
 // pool at once (run under -race this certifies the admission layer).
 func TestServerConcurrentSweeps(t *testing.T) {

@@ -58,6 +58,24 @@ func (s Set) Count() int {
 	return c
 }
 
+// AppendIndices appends the index of every set bit to dst in
+// increasing order and returns the extended slice. Whole zero words
+// are skipped and set words drain via trailing-zero counts, so the
+// cost is O(words + popcount) rather than the O(n) of probing every
+// bit with Has — the difference that matters when enumerating k-bit
+// token sets (internal/broadcast). Pass dst[:0] to reuse a scratch
+// buffer across calls.
+func (s Set) AppendIndices(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // UnionWith adds every bit of o to s. The sets must have equal capacity;
 // extra bits in a larger o are ignored.
 func (s Set) UnionWith(o Set) {

@@ -1,6 +1,10 @@
 package bitset
 
-import "testing"
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
 
 func TestBasic(t *testing.T) {
 	s := New(130)
@@ -52,6 +56,58 @@ func TestUnionAndClone(t *testing.T) {
 	}
 	if a.Has(77) {
 		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAppendIndices(t *testing.T) {
+	s := New(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.AppendIndices(nil)
+	if !slices.Equal(got, want) {
+		t.Fatalf("AppendIndices = %v, want %v", got, want)
+	}
+	// Reuse semantics: appending onto a non-empty prefix keeps it.
+	got = s.AppendIndices([]int{-7})
+	if got[0] != -7 || !slices.Equal(got[1:], want) {
+		t.Fatalf("AppendIndices with prefix = %v", got)
+	}
+	if out := New(100).AppendIndices(nil); len(out) != 0 {
+		t.Fatalf("empty set enumerated %v", out)
+	}
+	var zero Set
+	if out := zero.AppendIndices(nil); len(out) != 0 {
+		t.Fatalf("zero set enumerated %v", out)
+	}
+}
+
+// TestAppendIndicesMatchesHasScan pins the word-skipping enumeration
+// against the naive per-bit Has scan it replaces.
+func TestAppendIndicesMatchesHasScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		var want []int
+		for i := 0; i < n; i++ {
+			if s.Has(i) {
+				want = append(want, i)
+			}
+		}
+		got := s.AppendIndices(nil)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: AppendIndices = %v, Has scan = %v", n, got, want)
+		}
+		if len(got) != s.Count() {
+			t.Fatalf("n=%d: enumerated %d bits, Count says %d", n, len(got), s.Count())
+		}
 	}
 }
 

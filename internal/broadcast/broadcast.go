@@ -146,7 +146,7 @@ func disseminate(net *hybrid.Net, tokensAt []int) (*run, error) {
 
 	// Phase 4: converge-cast all tokens to the root cluster, deepest
 	// cluster-tree level first, load balancing before each level.
-	if err := state.convergeCastSets("disseminate/upcast", sets); err != nil {
+	if err := state.convergeCastSets("disseminate/upcast", sets, k); err != nil {
 		return nil, err
 	}
 
@@ -162,9 +162,9 @@ func disseminate(net *hybrid.Net, tokensAt []int) (*run, error) {
 
 	// Delivery certificate: every cluster must now hold all k tokens.
 	for ci := range sets {
-		if sets[ci].Count() != k {
-			return nil, fmt.Errorf("broadcast: internal error: cluster %d holds %d/%d tokens after downcast",
-				ci, sets[ci].Count(), k)
+		if missing, held, ok := state.certifyFullSet(sets[ci], k); !ok {
+			return nil, fmt.Errorf("broadcast: internal error: cluster %d holds %d/%d tokens after downcast (first missing: %d)",
+				ci, held, k, missing)
 		}
 	}
 	return r, nil
@@ -182,6 +182,31 @@ type treeState struct {
 	// out/in are the per-node word-load vectors of the current up-/down-
 	// cast level, allocated once per run and re-zeroed between levels.
 	out, in []int
+	// idx is the reused scratch of the token-set certificates: the
+	// word-skipping enumeration (bitset.Set.AppendIndices) fills it
+	// instead of probing all k bits with Has.
+	idx []int
+}
+
+// certifyFullSet checks that s holds exactly the tokens 0..k-1 — the
+// delivery invariant of the Theorem 1 data flow — via the bitset's
+// word-skipping set-bit enumeration rather than a per-bit Has scan
+// over the k-bit token set. On failure it reports the first missing
+// token and how many the set actually holds.
+func (st *treeState) certifyFullSet(s bitset.Set, k int) (missing, held int, ok bool) {
+	st.idx = s.AppendIndices(st.idx[:0])
+	held = len(st.idx)
+	if held == k {
+		// The set's capacity is k, so k distinct indices are exactly
+		// 0..k-1.
+		return 0, held, true
+	}
+	for i, tok := range st.idx {
+		if tok != i {
+			return i, held, false
+		}
+	}
+	return held, held, false
 }
 
 // loads returns the level load vectors, zeroed for the next level.
@@ -302,8 +327,9 @@ func (st *treeState) addTransferLoad(out, in []int, ci, pi, tokens int) {
 
 // convergeCastSets moves every cluster's token set up to the root cluster,
 // processing cluster-tree levels deepest first with a load-balancing step
-// before each level (the paper's O(log n) up-cast iterations).
-func (st *treeState) convergeCastSets(phase string, sets []bitset.Set) error {
+// before each level (the paper's O(log n) up-cast iterations), then
+// certifies that the root holds all k tokens.
+func (st *treeState) convergeCastSets(phase string, sets []bitset.Set, k int) error {
 	levels := st.treeLevels()
 	for li := len(levels) - 1; li >= 1; li-- {
 		st.loadBalance(phase + "/loadbalance")
@@ -321,6 +347,13 @@ func (st *treeState) convergeCastSets(phase string, sets []bitset.Set) error {
 			sets[e.parent].UnionWith(sets[e.child])
 		}
 	}
+	// Up-cast invariant: the root cluster now holds the union of every
+	// initial placement — all k tokens. (broadcastDownAll re-checks its
+	// precondition, but failing here pins a bug to the up-cast.)
+	rootCi := st.clusterOfLeader(st.ctree.Root())
+	if missing, held, ok := st.certifyFullSet(sets[rootCi], k); !ok {
+		return fmt.Errorf("broadcast: internal error: root cluster holds %d/%d tokens after upcast (first missing: %d)", held, k, missing)
+	}
 	return nil
 }
 
@@ -329,8 +362,8 @@ func (st *treeState) convergeCastSets(phase string, sets []bitset.Set) error {
 func (st *treeState) broadcastDownAll(phase string, sets []bitset.Set, k int) error {
 	levels := st.treeLevels()
 	rootCi := st.clusterOfLeader(st.ctree.Root())
-	if sets[rootCi].Count() != k {
-		return fmt.Errorf("broadcast: root cluster holds %d/%d tokens before downcast", sets[rootCi].Count(), k)
+	if missing, held, ok := st.certifyFullSet(sets[rootCi], k); !ok {
+		return fmt.Errorf("broadcast: root cluster holds %d/%d tokens before downcast (first missing: %d)", held, k, missing)
 	}
 	for li := 0; li+1 < len(levels); li++ {
 		st.loadBalance(phase + "/loadbalance")

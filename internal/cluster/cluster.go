@@ -141,6 +141,20 @@ func assignClosestRuler(net *hybrid.Net, rulers []int, radius int) []int {
 				continue
 			}
 			nd := dist[v] + 1
+			// Iterate the flat CSR row on frozen graphs (the sweep
+			// path, DESIGN.md §4); the adjacency order is identical, so
+			// the lexicographic relaxation resolves the same labels.
+			if row, _ := g.Row(v); row != nil {
+				for _, u := range row {
+					if nd < dist[u] || (nd == dist[u] && leadID[v] < leadID[u]) {
+						dist[u] = nd
+						leadID[u] = leadID[v]
+						leadIdx[u] = leadIdx[v]
+						changed = true
+					}
+				}
+				continue
+			}
 			for _, e := range g.Neighbors(v) {
 				u := int(e.To)
 				if nd < dist[u] || (nd == dist[u] && leadID[v] < leadID[u]) {
@@ -177,13 +191,12 @@ func clusterBFSOrder(g *graph.Graph, leader int, of []int, ci int) []int {
 	queue := []int{leader}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, e := range g.Neighbors(v) {
-			u := int(e.To)
+		g.ForEachNeighbor(v, func(u int, _ int64) {
 			if of[u] == ci && !seen[u] {
 				seen[u] = true
 				queue = append(queue, u)
 			}
-		}
+		})
 	}
 	return queue
 }

@@ -75,6 +75,11 @@ func nqScalingScenario(name string, families []graph.Family, ns, ks []int) *runn
 			if !ok {
 				return nil, fmt.Errorf("nqscaling: no Theorem 15/16 prediction for family %q (covered: %v)", c.Family, NQFamilies())
 			}
+			// Share the ball-profile artifact across every k-point of
+			// this instance (computed once per graph, persisted by the
+			// sweep service): nq.Of then answers each node in O(log)
+			// from the profile instead of regrowing its ball.
+			c.BallProfiles(g)
 			k := c.Point.K
 			q, err := nq.Of(g, k)
 			if err != nil {

@@ -90,12 +90,18 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 	if err != nil {
 		return err
 	}
-	// One topology cache for the whole report: within each section the
-	// sweep points share their (family, n, GraphSeed) instance, so every
-	// distinct graph is built exactly once. Sharing does not change the
-	// output — a cached instance is byte-identical to a per-cell build
-	// (DESIGN.md §9).
-	run := &runner.Runner{Workers: cfg.Workers, Graphs: runner.NewGraphCache(nil, 0)}
+	// One topology cache and one derived-profile cache for the whole
+	// report: within each section the sweep points share their
+	// (family, n, GraphSeed) instance, so every distinct graph is built
+	// exactly once and its ball-profile artifact grown exactly once.
+	// Sharing does not change the output — a cached instance is
+	// byte-identical to a per-cell build, and profile-served NQ values
+	// equal per-cell ball growth (DESIGN.md §9–10).
+	run := &runner.Runner{
+		Workers:  cfg.Workers,
+		Graphs:   runner.NewGraphCache(nil, 0),
+		Profiles: runner.NewProfileCache(nil, 0),
+	}
 	var names []string
 	if cfg.NQ {
 		names = append(names, "nq")

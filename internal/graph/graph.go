@@ -44,6 +44,12 @@ type Graph struct {
 	// may compute it lazily from any of them: the value is a pure
 	// function of the graph, so racing writers store the same number.
 	diam atomic.Int64
+	// profiles memoizes the batched ball-profile artifact
+	// (BallProfiles); nil until attached. Like diam it is a pure
+	// function of the topology, so concurrent attachers of a shared
+	// frozen graph only race about equivalent values (AttachProfiles
+	// keeps the deepest). Invalidated by AddEdge.
+	profiles atomic.Pointer[Profiles]
 	// csr is the frozen flat representation; non-nil once Freeze ran.
 	csr *csr
 	// ballPool recycles the epoch-marked scratch of Ball and BallSizes,
@@ -89,6 +95,7 @@ func (g *Graph) AddEdge(u, v int, w int64) error {
 	g.adj[v] = append(g.adj[v], Edge{To: int32(u), W: w})
 	g.m++
 	g.diam.Store(0)
+	g.profiles.Store(nil)
 	return nil
 }
 
@@ -172,10 +179,14 @@ func (g *Graph) Edges() []UndirectedEdge {
 	return out
 }
 
-// Clone returns a deep copy of g. A frozen graph clones frozen.
+// Clone returns a deep copy of g. A frozen graph clones frozen. The
+// lazy annotations (diameter, ball profiles) carry over: both are pure
+// functions of the topology, and Profiles instances are immutable, so
+// sharing one is safe.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m}
 	c.diam.Store(g.diam.Load())
+	c.profiles.Store(g.profiles.Load())
 	for v, es := range g.adj {
 		c.adj[v] = append([]Edge(nil), es...)
 	}

@@ -5,6 +5,14 @@
 //
 // together with the distributed eÕ(NQ_k)-round computation of Lemma 3.3 and
 // the small-neighborhood witness of Lemma 3.8 used by the lower bounds.
+//
+// Two evaluation paths back every query (DESIGN.md §10). When the graph
+// carries a ball-profile artifact (graph.BallProfiles, shared across
+// sweep cells by runner.ProfileCache) that is deep enough for k, each
+// node answers in O(log) time by binary search on the strictly
+// increasing sequence t·|B_t(v)|. Otherwise the early-exit kernel
+// graph.BallReach grows each ball only until the Definition 3.1
+// condition is decided. Both paths return identical values.
 package nq
 
 import (
@@ -16,28 +24,119 @@ import (
 	"repro/internal/overlay"
 )
 
-// PerNode returns NQ_k(v) for every node, plus NQ_k(G) = max_v NQ_k(v).
-// The diameter D is computed exactly (O(n·m)); per-node ball growth stops
-// as soon as the defining condition t·|B_t(v)| ≥ k holds.
-func PerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
-	n := g.N()
-	if n == 0 {
-		return nil, 0, errors.New("nq: empty graph")
+// ceilSqrt returns ⌈√k⌉ (1 for k ≤ 1).
+func ceilSqrt(k int) int {
+	s := 1
+	for int64(s)*int64(s) < int64(k) {
+		s++
+	}
+	return s
+}
+
+// reqRadius returns the smallest truncation radius guaranteed to decide
+// NQ_k on a connected graph: the first t with t·|B_t(v)| ≥ k satisfies
+// t ≤ max{⌈√k⌉, ⌈k/n⌉}, since |B_t(v)| ≥ t+1 until the ball covers the
+// graph and equals n afterwards.
+func reqRadius(k, n int) int {
+	s := ceilSqrt(k)
+	if n > 0 {
+		if q := (k + n - 1) / n; q > s {
+			s = q
+		}
+	}
+	return s
+}
+
+// profileFor returns the graph's attached ball-profile artifact if it
+// is deep enough to answer NQ_k exactly, plus the search bound
+// hi = min{D, reqRadius} every per-node query shares (the min because
+// values are capped at D). nil when no covering profile is attached.
+func profileFor(g *graph.Graph, k, d int) (p *graph.Profiles, hi int) {
+	p = g.Profiles()
+	if p == nil {
+		return nil, 0
+	}
+	hi = reqRadius(k, p.N())
+	if hi > d {
+		hi = d
+	}
+	if !p.Covers(hi) {
+		return nil, 0
+	}
+	return p, hi
+}
+
+// profileValue answers NQ_k(v) from a covering profile: binary search
+// for the smallest t with t·|B_t(v)| ≥ k over [1, hi] (the bound
+// profileFor computed once per query) — the sequence is strictly
+// increasing in t — falling back to the D cap when no radius in range
+// qualifies.
+func profileValue(p *graph.Profiles, v, k, hi, d int) int {
+	if int64(hi)*int64(p.Size(v, hi)) < int64(k) {
+		return d
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int64(mid)*int64(p.Size(v, mid)) >= int64(k) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// kernelValue answers NQ_k(v) with the early-exit ball growth.
+func kernelValue(g *graph.Graph, v, k, d int) int {
+	if t, _, ok := g.BallReach(v, d, int64(k)); ok {
+		return t
+	}
+	return d
+}
+
+// validate applies the shared entry checks and returns the effective
+// diameter cap d.
+func validate(g *graph.Graph, k int) (d int, err error) {
+	if g.N() == 0 {
+		return 0, errors.New("nq: empty graph")
 	}
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("nq: non-positive k=%d", k)
+		return 0, fmt.Errorf("nq: non-positive k=%d", k)
 	}
 	diam := g.Diameter()
 	if diam >= graph.Inf {
-		return nil, 0, graph.ErrDisconnected
+		return 0, graph.ErrDisconnected
 	}
-	d := int(diam)
+	d = int(diam)
 	if d == 0 {
 		d = 1 // single-node graph: NQ_k(v) is capped at D, use 1 as in NQ_k ≥ 1
 	}
+	return d, nil
+}
+
+// PerNode returns NQ_k(v) for every node, plus NQ_k(G) = max_v NQ_k(v).
+// The diameter D is computed exactly (O(n·m), cached on the graph); the
+// per-node values come from the attached profile when one covers k and
+// from the early-exit kernel otherwise.
+func PerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
+	d, err := validate(g, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
 	perNode = make([]int, n)
+	if p, hi := profileFor(g, k, d); p != nil {
+		for v := 0; v < n; v++ {
+			perNode[v] = profileValue(p, v, k, hi, d)
+			if perNode[v] > nq {
+				nq = perNode[v]
+			}
+		}
+		return perNode, nq, nil
+	}
 	for v := 0; v < n; v++ {
-		perNode[v] = perNodeValue(g, v, k, d)
+		perNode[v] = kernelValue(g, v, k, d)
 		if perNode[v] > nq {
 			nq = perNode[v]
 		}
@@ -45,42 +144,65 @@ func PerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
 	return perNode, nq, nil
 }
 
-// Of returns NQ_k(G).
+// Of returns NQ_k(G). Unlike PerNode it tracks only the running
+// maximum — no per-node slice — so the call is allocation-free in
+// steady state on both evaluation paths.
 func Of(g *graph.Graph, k int) (int, error) {
-	_, v, err := PerNode(g, k)
-	return v, err
-}
-
-func perNodeValue(g *graph.Graph, v, k, d int) int {
-	sizes := g.BallSizes(v, d)
+	d, err := validate(g, k)
+	if err != nil {
+		return 0, err
+	}
 	n := g.N()
-	for t := 1; t <= d; t++ {
-		size := n
-		if t < len(sizes) {
-			size = sizes[t]
+	nq := 0
+	if p, hi := profileFor(g, k, d); p != nil {
+		for v := 0; v < n; v++ {
+			if q := profileValue(p, v, k, hi, d); q > nq {
+				nq = q
+			}
 		}
-		if int64(t)*int64(size) >= int64(k) {
-			return t
+		return nq, nil
+	}
+	for v := 0; v < n; v++ {
+		if q := kernelValue(g, v, k, d); q > nq {
+			nq = q
 		}
 	}
-	return d
+	return nq, nil
 }
 
-// Witness returns a node v maximizing NQ_k(v) — by Lemma 3.8 it satisfies
-// |B_r(v)| < k/r for every r < NQ_k, which the lower-bound constructions
-// of Section 7 exploit.
+// Witness returns a node v maximizing NQ_k(v) — by Lemma 3.8 it
+// satisfies |B_r(v)| < k/r for every r < NQ_k, which the lower-bound
+// constructions of Section 7 exploit. Ties resolve to the smallest
+// node index.
 func Witness(g *graph.Graph, k int) (v, nqv int, err error) {
 	per, _, err := PerNode(g, k)
 	if err != nil {
 		return 0, 0, err
 	}
-	v = 0
 	for u, q := range per {
-		if q > per[v] {
-			v = u
+		if q > nqv {
+			v, nqv = u, q
 		}
 	}
-	return v, per[v], nil
+	return v, nqv, nil
+}
+
+// ensureProfiles returns a profile deep enough for k, computing and
+// attaching one with the parallel batch kernel when the graph carries
+// none (the computed radius is at least the canonical ProfileRadius,
+// so one computation serves every later k ≤ 9n on the same instance).
+func ensureProfiles(g *graph.Graph, k, d int) *graph.Profiles {
+	if p, _ := profileFor(g, k, d); p != nil {
+		return p
+	}
+	r := graph.ProfileRadius(g.N(), int64(d))
+	if need := reqRadius(k, g.N()); need > r {
+		r = need
+	}
+	if r > d {
+		r = d
+	}
+	return g.AttachProfiles(g.BallProfiles(r))
 }
 
 // Distributed computes NQ_k in the HYBRID₀ model following Lemma 3.3:
@@ -117,20 +239,14 @@ func Distributed(net *hybrid.Net, k int) (int, error) {
 }
 
 func distributedRun(net *hybrid.Net, g *graph.Graph, k, d int) (int, error) {
-	// One overlay tree is reused for every per-step aggregation.
+	// One overlay tree is reused for every per-step aggregation. The
+	// ball growth itself comes from the shared batch kernel: the
+	// simulation needs min_v |B_t(v)| for every explored depth, i.e.
+	// exactly the profile artifact, computed once per graph instance
+	// instead of one BallSizes sweep per node per execution.
 	tree := overlay.Build(net, "nq")
 	n := g.N()
-	// minBallAt[t] = min_v |B_t(v)|, computed incrementally.
-	sizes := make([][]int, n)
-	for v := 0; v < n; v++ {
-		sizes[v] = g.BallSizes(v, d)
-	}
-	ballAt := func(v, t int) int {
-		if t < len(sizes[v]) {
-			return sizes[v][t]
-		}
-		return n
-	}
+	p := ensureProfiles(g, k, d)
 	for t := 1; t <= d; t++ {
 		net.TickLocal("nq/explore", 1)
 		if _, err := tree.Aggregate("nq", 1); err != nil {
@@ -138,7 +254,7 @@ func distributedRun(net *hybrid.Net, g *graph.Graph, k, d int) (int, error) {
 		}
 		minBall := n
 		for v := 0; v < n; v++ {
-			if s := ballAt(v, t); s < minBall {
+			if s := p.Size(v, t); s < minBall {
 				minBall = s
 			}
 		}
@@ -151,10 +267,7 @@ func distributedRun(net *hybrid.Net, g *graph.Graph, k, d int) (int, error) {
 
 // UpperBound returns min{D, ⌈√k⌉}, the Lemma 3.6 upper bound on NQ_k.
 func UpperBound(diameter int64, k int) int {
-	s := 1
-	for int64(s)*int64(s) < int64(k) {
-		s++
-	}
+	s := ceilSqrt(k)
 	if int64(s) > diameter && diameter > 0 {
 		return int(diameter)
 	}

@@ -139,6 +139,60 @@ func Diameter(g *graph.Graph) int64 {
 	return d
 }
 
+// BallSizes returns |B_t(v)| for t = 0..maxT straight from the BFS
+// distance vector: a counting pass per radius, with none of the
+// frontier bookkeeping of graph.BallSizes or the batch profile kernel.
+func BallSizes(g *graph.Graph, v, maxT int) []int {
+	dist := BFS(g, v)
+	sizes := make([]int, maxT+1)
+	for t := 0; t <= maxT; t++ {
+		for _, d := range dist {
+			if d <= int64(t) {
+				sizes[t]++
+			}
+		}
+	}
+	return sizes
+}
+
+// NQPerNode computes NQ_k(v) for every node and NQ_k(G) directly from
+// Definition 3.1 — min({t : |B_t(v)| ≥ k/t} ∪ {D}) via per-radius
+// counting over BFS distances — independently of the library's
+// early-exit and profile evaluation paths. The graph must be
+// connected (graph.ErrDisconnected otherwise).
+func NQPerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
+	n := g.N()
+	diam := Diameter(g)
+	if diam >= graph.Inf {
+		return nil, 0, graph.ErrDisconnected
+	}
+	d := int(diam)
+	if d == 0 {
+		d = 1
+	}
+	perNode = make([]int, n)
+	for v := 0; v < n; v++ {
+		dist := BFS(g, v)
+		perNode[v] = d
+		for t := 1; t <= d; t++ {
+			size := 0
+			for _, dd := range dist {
+				if dd <= int64(t) {
+					size++
+				}
+			}
+			if int64(t)*int64(size) >= int64(k) {
+				perNode[v] = t
+				break
+			}
+		}
+		if perNode[v] > nq {
+			nq = perNode[v]
+		}
+	}
+	return perNode, nq, nil
+}
+
 // HopLimited returns d^h(src, ·), the lightest weight of any path with
 // at most h edges, by h full relaxation sweeps over the edge list
 // (classical Bellman–Ford, no frontier optimization).

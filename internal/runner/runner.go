@@ -117,8 +117,9 @@ type Cell struct {
 	// (families outermost, then sizes, seeds, points).
 	Index int
 
-	model  hybrid.Config
-	graphs *GraphCache // set by Collect from Runner.Graphs; nil = build per cell
+	model    hybrid.Config
+	graphs   *GraphCache   // set by Collect from Runner.Graphs; nil = build per cell
+	profiles *ProfileCache // set by Collect from Runner.Profiles; nil = compute per graph
 }
 
 func (c *Cell) String() string {
@@ -185,6 +186,28 @@ func (c *Cell) BuildGraph() (*graph.Graph, error) {
 		return c.graphs.Get(c.Family, c.N, c.GraphSeed())
 	}
 	return graph.Build(c.Family, c.N, rand.New(rand.NewSource(c.GraphSeed())))
+}
+
+// BallProfiles returns the shared ball-profile artifact of the cell's
+// graph (which must be the instance BuildGraph returned), memoizing it
+// on g so every NQ query against the instance answers from the profile
+// (DESIGN.md §10). With a ProfileCache attached (Runner.Profiles) the
+// artifact is computed once per distinct (family, n, GraphSeed)
+// coordinate across the whole sweep (singleflight) and persisted
+// content-addressed; without one it is computed locally at the same
+// canonical radius and attached to g — at most once per concurrent
+// asker, since this fallback has no singleflight (workers racing on a
+// fresh shared instance may duplicate the kernel before the atomic
+// attach keeps one result). Either way the values any k-point reads
+// are identical to a per-cell computation.
+func (c *Cell) BallProfiles(g *graph.Graph) *graph.Profiles {
+	if c.profiles != nil {
+		return c.profiles.Attach(g, c.Family, c.N, c.GraphSeed())
+	}
+	if p := g.Profiles(); p != nil && p.Covers(graph.ProfileRadius(g.N(), g.Diameter())) {
+		return p
+	}
+	return g.AttachProfiles(g.BallProfiles(graph.ProfileRadius(g.N(), g.Diameter())))
 }
 
 // Config returns the cell's model configuration: the scenario template
@@ -273,6 +296,14 @@ type Runner struct {
 	// tenants (DESIGN.md §9). Rows are unchanged — the shared instance
 	// is byte-identical to a per-cell build.
 	Graphs *GraphCache
+	// Profiles, when non-nil, deduplicates the derived ball-profile
+	// artifacts the NQ measurements read (DESIGN.md §10): every cell
+	// resolves Cell.BallProfiles through this cache, so each distinct
+	// topology's profile is computed exactly once per sweep — and zero
+	// times on resubmission when the cache persists through the
+	// artifact store. Rows are unchanged — profile-served NQ values
+	// are identical to per-cell ball growth.
+	Profiles *ProfileCache
 	// Observer, when non-nil, receives one CellEvent per cell (from
 	// worker goroutines; it must be safe for concurrent use).
 	Observer CellObserver
@@ -325,9 +356,10 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 		return nil, fmt.Errorf("runner: scenario %q has no Run function", sc.Name)
 	}
 	cells := Cells(sc)
-	if r != nil && r.Graphs != nil {
+	if r != nil && (r.Graphs != nil || r.Profiles != nil) {
 		for i := range cells {
 			cells[i].graphs = r.Graphs
+			cells[i].profiles = r.Profiles
 		}
 	}
 	results := make([][]T, len(cells))
