@@ -14,13 +14,19 @@
 //	GET  /v1/sweeps/{id}          poll a sweep's status
 //	GET  /v1/sweeps/{id}/results  stream results (?format=md|csv|jsonl)
 //	GET  /v1/cache/stats          artifact-store counters (per namespace,
-//	                              disk tier, topology cache)
+//	                              disk tier, topology cache, pool depth)
+//	GET  /metrics                 Prometheus text exposition
 //
 // Wrong-method requests on the /v1/* paths answer 405 with an Allow
 // header and the JSON error shape. Sweeps are content-addressed:
 // submitting an identical request returns the already-finished sweep,
 // and `"fresh": true` re-executes through the cell cache instead.
-// SIGINT/SIGTERM shut down gracefully, draining in-flight sweeps.
+// Admission control (DESIGN.md §11): -rate/-burst enable per-client
+// token-bucket limiting of submissions and -max-active bounds
+// concurrently running sweeps; over-limit submissions answer 429 with
+// a Retry-After header instead of queueing. -disk-max-mb bounds the
+// persistent tier, enforced by segment compaction. SIGINT/SIGTERM
+// shut down gracefully, draining in-flight sweeps.
 package main
 
 import (
@@ -63,6 +69,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "shared sweep worker-pool size (0 = GOMAXPROCS)")
 	cacheMB := fs.Int("cache-mb", 64, "in-memory result-cache budget in MiB (negative disables caching)")
 	cacheDir := fs.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
+	diskMaxMB := fs.Int("disk-max-mb", 0, "disk-tier byte bound in MiB, GC-enforced (0 = unbounded; needs -cache-dir)")
+	rate := fs.Float64("rate", 0, "per-client sweep submissions per second (0 = no rate limiting)")
+	burst := fs.Int("burst", 0, "rate-limiter burst size (0 = max(1, 2×rate))")
+	maxActive := fs.Int("max-active", 0, "concurrently running sweeps before submissions shed 429 (0 = 4×workers, negative = unbounded)")
+	maxSweeps := fs.Int("max-sweeps", 0, "finished sweeps kept in memory; evicted ones re-serve from cache (0 = default, negative = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
@@ -74,6 +85,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Workers:    *workers,
 		CacheBytes: int64(*cacheMB) << 20,
 		CacheDir:   *cacheDir,
+		DiskBytes:  int64(*diskMaxMB) << 20,
+		RatePerSec: *rate,
+		Burst:      *burst,
+		MaxActive:  *maxActive,
+		MaxSweeps:  *maxSweeps,
 	})
 	if err != nil {
 		return err

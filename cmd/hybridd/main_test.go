@@ -196,6 +196,55 @@ func TestSmokeRepeatSweepIsCached(t *testing.T) {
 	}
 }
 
+// TestSmokeMetricsAndRateLimit: the hardening flags work end to end —
+// an over-burst submission answers 429 with Retry-After, and /metrics
+// serves the Prometheus text exposition counting the shed.
+func TestSmokeMetricsAndRateLimit(t *testing.T) {
+	url, shutdown := startServer(t, "-rate", "0.001", "-burst", "1")
+	defer shutdown()
+
+	resp, err := http.Post(url+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"scenario":"nq","families":["path"],"n":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: code=%d", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"scenario":"nq","families":["cycle"],"n":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst submit: code=%d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	r, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: code=%d", r.StatusCode)
+	}
+	for _, want := range []string{
+		`hybridd_admission_shed_total{reason="rate"} 1`,
+		"# TYPE hybridd_http_request_seconds histogram",
+		"hybridd_pool_workers",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 // TestUsage pins the shared cliutil -h shape.
 func TestUsage(t *testing.T) {
 	var buf strings.Builder

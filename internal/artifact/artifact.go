@@ -95,12 +95,28 @@ type DiskStats struct {
 	Segments int `json:"segments"`
 	// Bytes is the total size of all segments.
 	Bytes int64 `json:"bytes"`
+	// LiveBytes is the subset of Bytes still referenced by the index;
+	// the difference is dead weight (shadowed, torn, or orphaned
+	// records) the collector may reclaim.
+	LiveBytes int64 `json:"live_bytes"`
 	// Entries is the number of distinct keys the index serves.
 	Entries int `json:"entries"`
 	// Reindexed counts the distinct keys recovered from pre-existing
 	// segments when the store was opened (restart recovery; shadowed
 	// re-put records collapse into their final key).
 	Reindexed int `json:"reindexed"`
+	// Compactions counts GC passes that rewrote or dropped a segment.
+	Compactions int `json:"compactions"`
+	// SegmentsCompacted counts sealed segments rewritten (live records
+	// moved forward, file deleted) because their live ratio fell below
+	// the threshold.
+	SegmentsCompacted int `json:"segments_compacted"`
+	// SegmentsDropped counts segments deleted whole to enforce the
+	// byte bound, live records included.
+	SegmentsDropped int `json:"segments_dropped"`
+	// RecordsCollected counts index entries discarded by the retain
+	// filter or a segment drop.
+	RecordsCollected int `json:"records_collected"`
 }
 
 // StoreStats is the full snapshot Stats() returns: the totals across
@@ -204,6 +220,24 @@ func (s *Store) Close() error {
 		return s.disk.close()
 	}
 	return nil
+}
+
+// SetGC installs the disk tier's garbage-collection policy and runs an
+// immediate pass — so a store reopened under a bumped code version
+// ages out its orphaned rows at startup, not at the next rotation.
+// No-op on a memory-only store (the LRU already bounds that tier).
+func (s *Store) SetGC(cfg GCConfig) {
+	if s.disk != nil {
+		s.disk.setGC(cfg)
+	}
+}
+
+// CompactDisk forces one garbage-collection pass now (tests, ops);
+// routine passes run automatically after each segment rotation.
+func (s *Store) CompactDisk() {
+	if s.disk != nil {
+		s.disk.compact()
+	}
 }
 
 // Namespace returns the named view of the store, creating its counter

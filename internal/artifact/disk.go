@@ -11,6 +11,22 @@ package artifact
 // record back via ReadAt. Writes and index mutations are serialized by
 // one mutex — the heavy work (simulation, topology construction)
 // happens far above this layer.
+//
+// Garbage collection (DESIGN.md §11): shadowed records, records whose
+// keys fail the configured retain filter (rows orphaned by a
+// CodeVersion bump), and torn or malformed lines are dead bytes that an
+// append-only log never reclaims on its own. The tier therefore keeps
+// per-segment live-byte accounts and, after each rotation (and on
+// Store.CompactDisk), rewrites sealed segments whose live ratio has
+// dropped below the threshold: live records are re-appended to the
+// active segment — always a higher-numbered file, so a crash mid-pass
+// leaves duplicates that reindexing resolves by its existing
+// later-shadows-earlier rule — and the old file is deleted. A total
+// byte bound is enforced last by dropping whole oldest segments (the
+// store is a cache; dropped records are recomputable). Concurrent
+// readers are safe: a Get races the pass only between its index lookup
+// and its ReadAt, fails the read (the file is gone or repointed), and
+// retries through the updated index.
 
 import (
 	"bufio"
@@ -24,6 +40,34 @@ import (
 
 // defaultSegmentBytes is the rotation threshold for segment files.
 const defaultSegmentBytes = 4 << 20
+
+// defaultLiveRatio is the compaction threshold: a sealed segment whose
+// live bytes fall below this fraction of its size is rewritten.
+const defaultLiveRatio = 0.5
+
+// GCConfig parameterizes the disk tier's garbage collector
+// (Store.SetGC). The zero value enables compaction at the defaults
+// with no byte bound and no retain filter.
+type GCConfig struct {
+	// MaxBytes bounds the total size of all segment files; 0 means
+	// unbounded. The bound is enforced after compaction by dropping
+	// whole oldest segments, live records included — acceptable for a
+	// content-addressed cache, whose records are recomputable.
+	MaxBytes int64
+	// LiveRatio is the compaction threshold: sealed segments whose
+	// live-byte fraction is below it are rewritten (0 means
+	// defaultLiveRatio; negative disables compaction).
+	LiveRatio float64
+	// Retain, when non-nil, marks which records are still worth
+	// keeping: keys for which it returns false are dropped from the
+	// index immediately and never rewritten by compaction. The sweep
+	// service uses it to age out result rows content-addressed under an
+	// old CodeVersion, which no future Get can ever request.
+	Retain func(ns, key string) bool
+	// SegmentBytes overrides the rotation threshold (0 means the 4 MiB
+	// default); tests use small segments to exercise rotation and GC.
+	SegmentBytes int64
+}
 
 // record is the JSONL schema of one disk entry.
 type record struct {
@@ -39,18 +83,31 @@ type loc struct {
 	len int
 }
 
+// segInfo is one segment file's byte accounting.
+type segInfo struct {
+	bytes int64 // file size
+	live  int64 // bytes of records the index still points at
+}
+
 type diskTier struct {
 	mu           sync.Mutex
 	dir          string
 	index        map[memKey]loc
+	segs         map[int]*segInfo
 	cur          *os.File // append handle of the active segment
 	curID        int
-	curBytes     int64
-	segments     int   // segment files present
-	totalBytes   int64 // bytes across all segments
-	reindexed    int   // records recovered from pre-existing segments at open
+	reindexed    int // records recovered from pre-existing segments at open
 	segmentBytes int64
 	broken       bool // a write failed; stop appending, keep serving reads
+
+	// GC configuration (SetGC) and counters.
+	maxBytes      int64
+	liveRatio     float64
+	retain        func(ns, key string) bool
+	compactions   int // GC passes that rewrote or dropped at least one segment
+	segCompacted  int
+	segDropped    int
+	recsCollected int // dead records reclaimed (shadowed, torn, or retain-filtered)
 }
 
 func segmentName(id int) string { return fmt.Sprintf("seg-%06d.jsonl", id) }
@@ -82,7 +139,9 @@ func openDiskTier(dir string) (*diskTier, error) {
 	d := &diskTier{
 		dir:          dir,
 		index:        make(map[memKey]loc),
+		segs:         make(map[int]*segInfo),
 		segmentBytes: defaultSegmentBytes,
+		liveRatio:    defaultLiveRatio,
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
 	if err != nil {
@@ -98,10 +157,10 @@ func openDiskTier(dir string) (*diskTier, error) {
 		if err := d.indexSegment(name, id); err != nil {
 			return nil, fmt.Errorf("artifact: indexing %s: %w", name, err)
 		}
+		info := d.segs[id]
 		if st, err := os.Stat(name); err == nil {
-			d.totalBytes += st.Size()
+			info.bytes = st.Size()
 		}
-		d.segments++
 		if id > maxID {
 			maxID = id
 		}
@@ -121,23 +180,27 @@ func openDiskTier(dir string) (*diskTier, error) {
 		return nil, err
 	}
 	d.cur = f
-	d.curBytes = st.Size()
-	if d.segments == 0 {
-		d.segments = 1
-		d.totalBytes = st.Size()
+	if d.segs[d.curID] == nil {
+		d.segs[d.curID] = &segInfo{bytes: st.Size()}
 	}
 	return d, nil
 }
 
-// indexSegment scans one segment line by line, recording offsets. A
-// trailing partial line (a crashed writer) is ignored; malformed full
-// lines are skipped rather than failing the whole tier.
+// indexSegment scans one segment line by line, recording offsets and
+// live-byte accounts. A trailing partial line (a crashed writer) is
+// ignored; malformed full lines are skipped rather than failing the
+// whole tier — both count as dead bytes the collector may reclaim.
 func (d *diskTier) indexSegment(path string, id int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	info := d.segs[id]
+	if info == nil {
+		info = &segInfo{}
+		d.segs[id] = info
+	}
 	r := bufio.NewReaderSize(f, 1<<16)
 	var off int64
 	for {
@@ -148,25 +211,42 @@ func (d *diskTier) indexSegment(path string, id int) error {
 		}
 		var rec record
 		if json.Unmarshal(line, &rec) == nil && rec.Key != "" {
-			d.index[memKey{ns: diskNS(rec.NS), key: rec.Key}] = loc{seg: id, off: off, len: len(line)}
+			k := memKey{ns: diskNS(rec.NS), key: rec.Key}
+			if old, ok := d.index[k]; ok {
+				d.segs[old.seg].live -= int64(old.len) // shadowed
+			}
+			d.index[k] = loc{seg: id, off: off, len: len(line)}
+			info.live += int64(len(line))
 		}
 		off += int64(len(line))
 	}
 }
 
+// get returns the record stored under (ns, key). A read that races a
+// compaction pass (the segment was rewritten and deleted between the
+// index lookup and the ReadAt) retries once through the updated index.
 func (d *diskTier) get(ns, key string) ([]byte, bool) {
-	d.mu.Lock()
-	l, ok := d.index[memKey{ns: ns, key: key}]
-	d.mu.Unlock()
-	if !ok {
-		return nil, false
+	for attempt := 0; attempt < 2; attempt++ {
+		d.mu.Lock()
+		l, ok := d.index[memKey{ns: ns, key: key}]
+		d.mu.Unlock()
+		if !ok {
+			return nil, false
+		}
+		if v, ok := d.readAt(l, ns, key); ok {
+			return v, true
+		}
 	}
-	buf := make([]byte, l.len)
+	return nil, false
+}
+
+func (d *diskTier) readAt(l loc, ns, key string) ([]byte, bool) {
 	f, err := os.Open(segmentPath(d.dir, l.seg))
 	if err != nil {
 		return nil, false
 	}
 	defer f.Close()
+	buf := make([]byte, l.len)
 	if _, err := f.ReadAt(buf, l.off); err != nil {
 		return nil, false
 	}
@@ -178,6 +258,8 @@ func (d *diskTier) get(ns, key string) ([]byte, bool) {
 }
 
 // put appends one record and reports whether it was durably written.
+// Crossing the rotation threshold seals the active segment and runs a
+// GC pass over the sealed set.
 func (d *diskTier) put(ns, key string, value []byte) bool {
 	line, err := json.Marshal(record{NS: recordNS(ns), Key: key, Value: value})
 	if err != nil {
@@ -186,29 +268,47 @@ func (d *diskTier) put(ns, key string, value []byte) bool {
 	line = append(line, '\n')
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.cur == nil || d.broken {
-		return false
-	}
 	// An existing key is appended again (shadowing the old record on
 	// the next reopen, and re-pointing the index now) rather than
 	// skipped: identical content addresses normally carry identical
 	// values, but a Put over an existing key only happens when the old
 	// record failed to decode — skipping would make corruption
 	// permanent, and the memory tier already holds the new value.
-	if d.curBytes > 0 && d.curBytes+int64(len(line)) > d.segmentBytes {
+	rotated, ok := d.appendLocked(memKey{ns: ns, key: key}, line)
+	if ok && rotated {
+		d.gcLocked()
+	}
+	return ok
+}
+
+// appendLocked writes one prepared line to the active segment,
+// rotating first when the threshold would be crossed, and repoints the
+// index. It never triggers GC — put does that, so the collector's own
+// re-appends cannot recurse. Reports (rotated, ok).
+func (d *diskTier) appendLocked(k memKey, line []byte) (rotated, ok bool) {
+	if d.cur == nil || d.broken {
+		return false, false
+	}
+	info := d.segs[d.curID]
+	if info.bytes > 0 && info.bytes+int64(len(line)) > d.segmentBytes {
 		if err := d.rotate(); err != nil {
 			d.broken = true
-			return false
+			return false, false
 		}
+		rotated = true
+		info = d.segs[d.curID]
 	}
 	if _, err := d.cur.Write(line); err != nil {
 		d.broken = true
-		return false
+		return rotated, false
 	}
-	d.index[memKey{ns: ns, key: key}] = loc{seg: d.curID, off: d.curBytes, len: len(line)}
-	d.curBytes += int64(len(line))
-	d.totalBytes += int64(len(line))
-	return true
+	if old, exists := d.index[k]; exists {
+		d.segs[old.seg].live -= int64(old.len) // shadowed
+	}
+	d.index[k] = loc{seg: d.curID, off: info.bytes, len: len(line)}
+	info.bytes += int64(len(line))
+	info.live += int64(len(line))
+	return rotated, true
 }
 
 func (d *diskTier) rotate() error {
@@ -222,19 +322,168 @@ func (d *diskTier) rotate() error {
 		return err
 	}
 	d.cur = f
-	d.curBytes = 0
-	d.segments++
+	d.segs[d.curID] = &segInfo{}
 	return nil
+}
+
+// setGC installs the GC configuration and runs an immediate pass, so a
+// reopened store ages out rows orphaned by a version bump right away.
+func (d *diskTier) setGC(cfg GCConfig) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maxBytes = cfg.MaxBytes
+	switch {
+	case cfg.LiveRatio < 0:
+		d.liveRatio = 0
+	case cfg.LiveRatio == 0:
+		d.liveRatio = defaultLiveRatio
+	default:
+		d.liveRatio = cfg.LiveRatio
+	}
+	d.retain = cfg.Retain
+	if cfg.SegmentBytes > 0 {
+		d.segmentBytes = cfg.SegmentBytes
+	}
+	d.gcLocked()
+}
+
+// compact forces a GC pass now (Store.CompactDisk).
+func (d *diskTier) compact() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gcLocked()
+}
+
+// gcLocked is one garbage-collection pass over the sealed segments:
+// (1) drop index entries failing the retain filter, (2) rewrite sealed
+// segments below the live-ratio threshold into the active segment and
+// delete them, (3) enforce the total byte bound by dropping whole
+// oldest segments. The caller holds d.mu.
+func (d *diskTier) gcLocked() {
+	if d.cur == nil || d.broken {
+		return
+	}
+	worked := false
+
+	// (1) Age out records no future Get can want (orphaned versions).
+	if d.retain != nil {
+		for k, l := range d.index {
+			if !d.retain(k.ns, k.key) {
+				d.segs[l.seg].live -= int64(l.len)
+				delete(d.index, k)
+				d.recsCollected++
+			}
+		}
+	}
+
+	// (2) Compact sealed segments whose live ratio dropped below the
+	// threshold. Keys are grouped per segment in one index scan; the
+	// live records are re-appended to the active (always
+	// higher-numbered) segment, so even a crash between the copy and
+	// the delete reindexes correctly — the copies shadow the originals.
+	if d.liveRatio > 0 {
+		victims := make(map[int][]memKey)
+		for k, l := range d.index {
+			if l.seg != d.curID {
+				victims[l.seg] = append(victims[l.seg], k)
+			}
+		}
+		ids := make([]int, 0, len(d.segs))
+		for id := range d.segs {
+			if id != d.curID {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			info := d.segs[id]
+			if float64(info.live) >= d.liveRatio*float64(info.bytes) {
+				continue
+			}
+			ok := true
+			if keys := victims[id]; len(keys) > 0 {
+				f, err := os.Open(segmentPath(d.dir, id))
+				if err != nil {
+					continue
+				}
+				for _, k := range keys {
+					l := d.index[k]
+					line := make([]byte, l.len)
+					if _, err := f.ReadAt(line, l.off); err != nil {
+						ok = false
+						break
+					}
+					if _, wok := d.appendLocked(k, line); !wok {
+						ok = false
+						break
+					}
+				}
+				f.Close()
+			}
+			if !ok {
+				continue // keep the segment; a later pass retries
+			}
+			os.Remove(segmentPath(d.dir, id))
+			delete(d.segs, id)
+			d.segCompacted++
+			worked = true
+		}
+	}
+
+	// (3) Enforce the byte bound: drop whole oldest sealed segments.
+	if d.maxBytes > 0 {
+		for d.totalBytesLocked() > d.maxBytes {
+			oldest := -1
+			for id := range d.segs {
+				if id != d.curID && (oldest < 0 || id < oldest) {
+					oldest = id
+				}
+			}
+			if oldest < 0 {
+				break // only the active segment remains; rotation bounds it
+			}
+			for k, l := range d.index {
+				if l.seg == oldest {
+					delete(d.index, k)
+					d.recsCollected++
+				}
+			}
+			os.Remove(segmentPath(d.dir, oldest))
+			delete(d.segs, oldest)
+			d.segDropped++
+			worked = true
+		}
+	}
+	if worked {
+		d.compactions++
+	}
+}
+
+func (d *diskTier) totalBytesLocked() int64 {
+	var total int64
+	for _, info := range d.segs {
+		total += info.bytes
+	}
+	return total
 }
 
 func (d *diskTier) stats() DiskStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var live int64
+	for _, info := range d.segs {
+		live += info.live
+	}
 	return DiskStats{
-		Segments:  d.segments,
-		Bytes:     d.totalBytes,
-		Entries:   len(d.index),
-		Reindexed: d.reindexed,
+		Segments:          len(d.segs),
+		Bytes:             d.totalBytesLocked(),
+		LiveBytes:         live,
+		Entries:           len(d.index),
+		Reindexed:         d.reindexed,
+		Compactions:       d.compactions,
+		SegmentsCompacted: d.segCompacted,
+		SegmentsDropped:   d.segDropped,
+		RecordsCollected:  d.recsCollected,
 	}
 }
 

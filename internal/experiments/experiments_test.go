@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -153,5 +154,29 @@ func TestDefaultFamilies(t *testing.T) {
 		if _, err := graph.Build(f, 64, nil); err != nil {
 			t.Fatalf("family %s unbuildable: %v", f, err)
 		}
+	}
+}
+
+// TestFormatsSingleSourceOfTruth: every format Formats lists must have
+// a content type and a working sink, and NewSink must reject anything
+// else — the server's HTTP whitelist derives from the same table, so
+// the two cannot drift.
+func TestFormatsSingleSourceOfTruth(t *testing.T) {
+	for _, format := range Formats() {
+		if ct, ok := FormatContentType(format); !ok || ct == "" {
+			t.Errorf("format %q has no content type", format)
+		}
+		if sink, err := (&ReportConfig{Format: format}).NewSink(io.Discard); err != nil || sink == nil {
+			t.Errorf("format %q has no sink: %v", format, err)
+		}
+	}
+	if ct, ok := FormatContentType(""); !ok || ct != "text/markdown; charset=utf-8" {
+		t.Errorf("empty format should default to markdown, got %q ok=%v", ct, ok)
+	}
+	if _, ok := FormatContentType("xml"); ok {
+		t.Error("unknown format accepted by FormatContentType")
+	}
+	if _, err := (&ReportConfig{Format: "xml"}).NewSink(io.Discard); err == nil {
+		t.Error("unknown format accepted by NewSink")
 	}
 }

@@ -66,18 +66,46 @@ func (c *ReportConfig) families() []graph.Family {
 	return DefaultFamilies()
 }
 
+// formatSpec is the single source of truth for a result format: the
+// sink that renders it and the media type it is served under. The
+// sweep service derives its Content-Type negotiation from this same
+// table (Formats, FormatContentType), so the HTTP whitelist cannot
+// drift from what NewSink accepts.
+type formatSpec struct {
+	contentType string
+	newSink     func(io.Writer) runner.Sink
+}
+
+var formatSpecs = map[string]formatSpec{
+	"md":    {"text/markdown; charset=utf-8", func(w io.Writer) runner.Sink { return &runner.MarkdownSink{W: w} }},
+	"csv":   {"text/csv; charset=utf-8", func(w io.Writer) runner.Sink { return runner.NewCSVSink(w) }},
+	"jsonl": {"application/x-ndjson", func(w io.Writer) runner.Sink { return runner.NewJSONLSink(w) }},
+}
+
+// Formats lists the supported result formats in canonical order.
+func Formats() []string { return []string{"md", "csv", "jsonl"} }
+
+// FormatContentType returns the media type a format is served under
+// ("" means the markdown default) and whether the format is known.
+func FormatContentType(format string) (string, bool) {
+	if format == "" {
+		format = "md"
+	}
+	spec, ok := formatSpecs[format]
+	return spec.contentType, ok
+}
+
 // NewSink builds the result sink for the configured format.
 func (c *ReportConfig) NewSink(w io.Writer) (runner.Sink, error) {
-	switch c.Format {
-	case "", "md":
-		return &runner.MarkdownSink{W: w}, nil
-	case "csv":
-		return runner.NewCSVSink(w), nil
-	case "jsonl":
-		return runner.NewJSONLSink(w), nil
-	default:
+	format := c.Format
+	if format == "" {
+		format = "md"
+	}
+	spec, ok := formatSpecs[format]
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown format %q (want md, csv or jsonl)", c.Format)
 	}
+	return spec.newSink(w), nil
 }
 
 // WriteReport regenerates the selected artifacts on w — the

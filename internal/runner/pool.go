@@ -28,8 +28,23 @@ type Pool struct {
 	cond   *sync.Cond
 	queues []*poolQueue // batches with undispatched tasks
 	rr     int          // round-robin cursor into queues
+	active int          // tasks currently executing on a worker
 	closed bool
 	wg     sync.WaitGroup // worker goroutines
+}
+
+// PoolStats is a point-in-time snapshot of the pool's depth — the
+// admission-control signal the sweep service exports on /metrics so
+// shedding decisions are observable (DESIGN.md §11).
+type PoolStats struct {
+	// Workers is the fixed pool size.
+	Workers int `json:"workers"`
+	// Queued counts accepted tasks not yet dispatched to a worker.
+	Queued int `json:"queued"`
+	// Active counts tasks currently executing.
+	Active int `json:"active"`
+	// Batches counts attached batches with undispatched tasks.
+	Batches int `json:"batches"`
 }
 
 // poolQueue is one attached batch of tasks.
@@ -56,6 +71,17 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// Stats snapshots the pool's current depth.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{Workers: p.workers, Active: p.active, Batches: len(p.queues)}
+	for _, q := range p.queues {
+		st.Queued += len(q.tasks) - q.next
+	}
+	return st
+}
 
 // Run attaches tasks as one batch and blocks until every task has
 // finished. Concurrent Run calls interleave fairly: each scheduling
@@ -124,11 +150,13 @@ func (p *Pool) worker() {
 				}
 			}
 		}
+		p.active++
 		p.mu.Unlock()
 
 		t()
 
 		p.mu.Lock()
+		p.active--
 		q.pending--
 		if q.pending == 0 {
 			close(q.done)

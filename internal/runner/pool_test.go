@@ -169,3 +169,38 @@ func TestCollectOnPool(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolStats: the depth snapshot tracks queued and active tasks —
+// the signal the sweep service's admission layer exports on /metrics.
+func TestPoolStats(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if st := p.Stats(); st.Workers != 2 || st.Queued != 0 || st.Active != 0 || st.Batches != 0 {
+		t.Fatalf("idle pool stats %+v", st)
+	}
+
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	tasks := make([]func(), 8)
+	for i := range tasks {
+		tasks[i] = func() {
+			started <- struct{}{}
+			<-release
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(tasks) }()
+	<-started
+	<-started // both workers busy, six tasks queued
+	st := p.Stats()
+	if st.Active != 2 || st.Queued != 6 || st.Batches != 1 {
+		t.Fatalf("busy pool stats %+v, want active=2 queued=6 batches=1", st)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Active != 0 || st.Queued != 0 || st.Batches != 0 {
+		t.Fatalf("drained pool stats %+v", st)
+	}
+}
