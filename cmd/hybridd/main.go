@@ -13,6 +13,8 @@
 //	POST /v1/sweeps               submit {"scenario","families","n","seed"}
 //	GET  /v1/sweeps/{id}          poll a sweep's status
 //	GET  /v1/sweeps/{id}/results  stream results (?format=md|csv|jsonl)
+//	GET  /v1/sweeps/{id}/stream   live cell delivery while the sweep runs
+//	                              (?format=sse|jsonl, DESIGN.md §12)
 //	GET  /v1/cache/stats          artifact-store counters (per namespace,
 //	                              disk tier, topology cache, pool depth)
 //	GET  /metrics                 Prometheus text exposition
@@ -24,9 +26,13 @@
 // Admission control (DESIGN.md §11): -rate/-burst enable per-client
 // token-bucket limiting of submissions and -max-active bounds
 // concurrently running sweeps; over-limit submissions answer 429 with
-// a Retry-After header instead of queueing. -disk-max-mb bounds the
-// persistent tier, enforced by segment compaction. SIGINT/SIGTERM
-// shut down gracefully, draining in-flight sweeps.
+// a Retry-After header instead of queueing. -trust-proxy keys the
+// limiter on the first X-Forwarded-For hop (only enable behind a
+// trusted reverse proxy — the header is client-forgeable).
+// -disk-max-mb bounds the persistent tier, enforced by segment
+// compaction. -stream-buffer sizes each stream subscriber's cell
+// buffer; one that falls that far behind is disconnected.
+// SIGINT/SIGTERM shut down gracefully, draining in-flight sweeps.
 package main
 
 import (
@@ -74,6 +80,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	burst := fs.Int("burst", 0, "rate-limiter burst size (0 = max(1, 2×rate))")
 	maxActive := fs.Int("max-active", 0, "concurrently running sweeps before submissions shed 429 (0 = 4×workers, negative = unbounded)")
 	maxSweeps := fs.Int("max-sweeps", 0, "finished sweeps kept in memory; evicted ones re-serve from cache (0 = default, negative = unbounded)")
+	trustProxy := fs.Bool("trust-proxy", false, "rate-limit by the first X-Forwarded-For hop (only behind a trusted reverse proxy)")
+	streamBuffer := fs.Int("stream-buffer", 0, "buffered cells per stream subscriber before a slow consumer is dropped (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
@@ -82,14 +90,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 
 	srv, err := hybridnet.NewServer(hybridnet.ServerConfig{
-		Workers:    *workers,
-		CacheBytes: int64(*cacheMB) << 20,
-		CacheDir:   *cacheDir,
-		DiskBytes:  int64(*diskMaxMB) << 20,
-		RatePerSec: *rate,
-		Burst:      *burst,
-		MaxActive:  *maxActive,
-		MaxSweeps:  *maxSweeps,
+		Workers:      *workers,
+		CacheBytes:   int64(*cacheMB) << 20,
+		CacheDir:     *cacheDir,
+		DiskBytes:    int64(*diskMaxMB) << 20,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		MaxActive:    *maxActive,
+		MaxSweeps:    *maxSweeps,
+		TrustProxy:   *trustProxy,
+		StreamBuffer: *streamBuffer,
 	})
 	if err != nil {
 		return err

@@ -12,16 +12,25 @@
 // hybridload fails if any digest drifts, so a load run is also a
 // correctness check of the cache and rehydration paths.
 //
+// With -stream each job additionally consumes the sweep's live SSE
+// stream (GET /v1/sweeps/{id}/stream) while it runs, reassembles the
+// streamed rows in canonical cell order, and requires their sha256 to
+// equal the static ?format=jsonl document's — the cross-mode
+// byte-identity contract of DESIGN.md §12 — while measuring the
+// latency to the first streamed event.
+//
 //	hybridload -addr 127.0.0.1:8080 -waves 3 -clients 8
-//	hybridload -addr 127.0.0.1:8080 -bench | benchjson -table bench_http
+//	hybridload -addr 127.0.0.1:8080 -stream -bench | benchjson -table bench_http
 //
 // With -bench the summary is followed by `go test -bench`-style lines
 // (BenchmarkHTTPSweepCold, BenchmarkHTTPSweepWarm,
-// BenchmarkHTTPResultsWarm, BenchmarkHTTPMetricsScrape) that
-// cmd/benchjson turns into the committed BENCH_http.json artifact.
+// BenchmarkHTTPResultsWarm, BenchmarkHTTPMetricsScrape, and with
+// -stream BenchmarkHTTPStreamFirstEvent) that cmd/benchjson turns into
+// the committed BENCH_http.json artifact.
 package main
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -214,6 +223,108 @@ func (c *loadClient) fetch(ctx context.Context, id, format string) ([32]byte, er
 	return sum, nil
 }
 
+// streamResult is one SSE consumption's outcome: the sha256 of the
+// streamed rows reassembled in canonical cell order, the latency to
+// the first event, and the cell-event count.
+type streamResult struct {
+	digest     [32]byte
+	firstEvent time.Duration
+	cells      int
+}
+
+// stream consumes the sweep's live SSE stream to completion: each
+// "cell" event's data lines are its JSONL rows and its id the
+// canonical cell index, so re-ordering by id and concatenating
+// reproduces the static ?format=jsonl document. Duplicate cell ids
+// (broken exactly-once replay) and non-"done" terminals are errors.
+func (c *loadClient) stream(ctx context.Context, id string) (streamResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/v1/sweeps/"+id+"/stream?format=sse", nil)
+	if err != nil {
+		return streamResult{}, err
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return streamResult{}, fmt.Errorf("stream %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return streamResult{}, fmt.Errorf("stream %s: HTTP %d: %s", id, resp.StatusCode, body)
+	}
+	var res streamResult
+	rows := make(map[int][]string)
+	terminal := ""
+	evName, evID := "", -1
+	var data []string
+	flush := func() error {
+		if evName == "" {
+			return nil
+		}
+		if res.firstEvent == 0 {
+			res.firstEvent = time.Since(start)
+		}
+		switch evName {
+		case "cell":
+			if _, dup := rows[evID]; dup {
+				return fmt.Errorf("stream %s: cell %d delivered twice", id, evID)
+			}
+			rows[evID] = data
+			res.cells++
+		case "done", "failed", "dropped":
+			terminal = evName
+		}
+		evName, evID, data = "", -1, nil
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return streamResult{}, err
+			}
+		case strings.HasPrefix(line, "event: "):
+			evName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			if evID, err = strconv.Atoi(strings.TrimPrefix(line, "id: ")); err != nil {
+				return streamResult{}, fmt.Errorf("stream %s: bad event id %q", id, line)
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: "))
+		default:
+			return streamResult{}, fmt.Errorf("stream %s: unparseable SSE line %q", id, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return streamResult{}, fmt.Errorf("stream %s: %v", id, err)
+	}
+	if err := flush(); err != nil {
+		return streamResult{}, err
+	}
+	if terminal != "done" {
+		return streamResult{}, fmt.Errorf("stream %s: terminal event %q, want done", id, terminal)
+	}
+	idx := make([]int, 0, len(rows))
+	for i := range rows {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	h := sha256.New()
+	for _, i := range idx {
+		for _, line := range rows[i] {
+			io.WriteString(h, line)
+			io.WriteString(h, "\n")
+		}
+	}
+	copy(res.digest[:], h.Sum(nil))
+	return res, nil
+}
+
 // sample is one job's end-to-end measurement within a wave.
 type sample struct {
 	job      job
@@ -223,11 +334,15 @@ type sample struct {
 	cached   int
 	cells    int
 	digest   [32]byte
+	stream   streamResult // zero unless -stream
 	statusOK bool
 }
 
 // runWave replays the whole mix once with the configured concurrency.
-func runWave(ctx context.Context, c *loadClient, jobs []job, clients int, format string, fresh bool) ([]sample, error) {
+// With stream set, every job's SSE stream is consumed concurrently
+// with the long-poll — live while the sweep runs — and its reassembled
+// rows must hash identically to the static ?format=jsonl document.
+func runWave(ctx context.Context, c *loadClient, jobs []job, clients int, format string, fresh, stream bool) ([]sample, error) {
 	samples := make([]sample, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, clients)
@@ -244,6 +359,17 @@ func runWave(ctx context.Context, c *loadClient, jobs []job, clients int, format
 				errs[i] = err
 				return
 			}
+			var sres streamResult
+			var serr error
+			sdone := make(chan struct{})
+			if stream {
+				go func() {
+					defer close(sdone)
+					sres, serr = c.stream(ctx, id)
+				}()
+			} else {
+				close(sdone)
+			}
 			st, err := c.wait(ctx, id)
 			if err != nil {
 				errs[i] = err
@@ -255,12 +381,28 @@ func runWave(ctx context.Context, c *loadClient, jobs []job, clients int, format
 				errs[i] = err
 				return
 			}
+			<-sdone
+			if serr != nil {
+				errs[i] = serr
+				return
+			}
+			if stream {
+				staticJSONL, err := c.fetch(ctx, id, "jsonl")
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if sres.digest != staticJSONL {
+					errs[i] = fmt.Errorf("sweep %s (%s): streamed rows differ from the static jsonl document — the §12 byte-identity contract is broken", id, j)
+					return
+				}
+			}
 			samples[i] = sample{
 				job: j, id: id,
 				total:   time.Since(start),
 				results: time.Since(fetchStart),
 				cached:  st.Cached, cells: st.Cells,
-				digest: digest, statusOK: true,
+				digest: digest, stream: sres, statusOK: true,
 			}
 		}(i, j)
 	}
@@ -299,6 +441,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := cliutil.NewFlagSet(w, "hybridload",
 		"Replay a realistic sweep mix against a running hybridd and verify cross-wave byte-identity.",
 		"hybridload -addr 127.0.0.1:8080 -waves 3 -clients 8",
+		"hybridload -addr 127.0.0.1:8080 -stream   # also consume each sweep's live SSE stream",
 		"hybridload -addr 127.0.0.1:8080 -bench | benchjson -table bench_http -baseline BENCH_http.json",
 	)
 	addr := fs.String("addr", "127.0.0.1:8080", "hybridd address (host:port or full URL)")
@@ -308,6 +451,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	format := fs.String("format", "md", "results format fetched and digested (md, csv, or jsonl)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-sweep completion timeout")
 	shedWait := fs.Duration("shed-wait", 2*time.Second, "cap on how long one 429 Retry-After hint is honored")
+	stream := fs.Bool("stream", false, "consume each sweep's SSE stream live and verify it against the static jsonl document")
 	bench := fs.Bool("bench", false, "append go-test-bench-style lines for benchjson")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
@@ -338,10 +482,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	resp.Body.Close()
 
 	digests := make(map[string][32]byte) // sweep id → wave-1 digest
-	var coldTotals, warmTotals, warmResults []time.Duration
+	var coldTotals, warmTotals, warmResults, firstEvents []time.Duration
 	for wave := 1; wave <= *waves; wave++ {
 		start := time.Now()
-		samples, err := runWave(ctx, c, jobs, *clients, *format, wave > 1)
+		samples, err := runWave(ctx, c, jobs, *clients, *format, wave > 1, *stream)
 		if err != nil {
 			return fmt.Errorf("wave %d: %w", wave, err)
 		}
@@ -351,6 +495,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			totals = append(totals, s.total)
 			cached += s.cached
 			cells += s.cells
+			if *stream {
+				firstEvents = append(firstEvents, s.stream.firstEvent)
+			}
 			if prev, ok := digests[s.id]; ok {
 				if prev != s.digest {
 					return fmt.Errorf("wave %d: sweep %s (%s) results drifted from wave 1 — cache or rehydration is not byte-stable", wave, s.id, s.job)
@@ -374,6 +521,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	sheds := c.sheds
 	c.mu.Unlock()
 	fmt.Fprintf(w, "429 shed-and-retried submissions: %d\n", sheds)
+	if *stream {
+		fmt.Fprintf(w, "stream first-event p50: %v (all %d streams byte-identical to static jsonl)\n",
+			quantile(firstEvents, 0.5).Round(time.Microsecond), len(firstEvents))
+	}
 
 	// Scrape /metrics a few times for the exposition-latency benchmark
 	// (and as a smoke check that the endpoint serves under load).
@@ -402,6 +553,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintf(w, "BenchmarkHTTPResultsWarm 1 %d ns/op\n", mean(warmResults).Nanoseconds())
 		}
 		fmt.Fprintf(w, "BenchmarkHTTPMetricsScrape 1 %d ns/op\n", quantile(scrapes, 0.5).Nanoseconds())
+		if *stream && len(firstEvents) > 0 {
+			fmt.Fprintf(w, "BenchmarkHTTPStreamFirstEvent 1 %d ns/op\n", quantile(firstEvents, 0.5).Nanoseconds())
+		}
 	}
 	return nil
 }

@@ -307,3 +307,60 @@ func TestServerResultsErrors(t *testing.T) {
 		t.Fatalf("csv Content-Type = %q", ct)
 	}
 }
+
+// postSweepXFF submits a sweep with an X-Forwarded-For header and
+// returns the status code.
+func postSweepXFF(t *testing.T, url, xff string, req hybridnet.SweepRequest) int {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest("POST", url+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if xff != "" {
+		hreq.Header.Set("X-Forwarded-For", xff)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestRateLimitTrustProxy: with TrustProxy on, the limiter keys on the
+// first X-Forwarded-For hop — the same forwarded client is limited
+// across connections while a different forwarded client (same socket,
+// the proxy's) keeps its own bucket.
+func TestRateLimitTrustProxy(t *testing.T) {
+	srv := newTestServer(t, hybridnet.ServerConfig{RatePerSec: 0.001, Burst: 1, TrustProxy: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code := postSweepXFF(t, ts.URL, "203.0.113.7", nqPathRequest()); code >= 300 {
+		t.Fatalf("first submission from forwarded client: %d", code)
+	}
+	if code := postSweepXFF(t, ts.URL, "203.0.113.7", nqPathRequest()); code != http.StatusTooManyRequests {
+		t.Fatalf("same forwarded client beyond burst: %d, want 429", code)
+	}
+	if code := postSweepXFF(t, ts.URL, "198.51.100.9", nqPathRequest()); code >= 300 {
+		t.Fatalf("distinct forwarded client should have its own bucket: %d", code)
+	}
+}
+
+// TestRateLimitIgnoresForwardedByDefault: without TrustProxy the
+// client-forgeable header must not split the bucket — both requests
+// come from one socket address and the second is shed.
+func TestRateLimitIgnoresForwardedByDefault(t *testing.T) {
+	srv := newTestServer(t, hybridnet.ServerConfig{RatePerSec: 0.001, Burst: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code := postSweepXFF(t, ts.URL, "203.0.113.7", nqPathRequest()); code >= 300 {
+		t.Fatalf("first submission: %d", code)
+	}
+	if code := postSweepXFF(t, ts.URL, "198.51.100.9", nqPathRequest()); code != http.StatusTooManyRequests {
+		t.Fatalf("forged header must not evade the socket bucket: %d, want 429", code)
+	}
+}

@@ -19,9 +19,13 @@ package hybridnet
 // status codes feed a Prometheus-text /metrics registry alongside
 // cache hit ratios, pool depth, and sweep states, and the disk tier
 // runs segment compaction with a version-aware retain filter and a
-// total-byte bound. cmd/hybridd is the stdlib net/http binary over
-// Handler; everything here is equally usable in-process
-// (NewServer / Submit / WaitContext / WriteResults).
+// total-byte bound. In-progress sweeps additionally stream each
+// resolved cell's rendered rows to any number of subscribers (SSE or
+// chunked JSONL, DESIGN.md §12) with late-subscriber replay and a
+// bounded-buffer slow-consumer policy. cmd/hybridd is the stdlib
+// net/http binary over Handler; everything here is equally usable
+// in-process (NewServer / Submit / WaitContext / WriteResults /
+// StreamCells).
 
 import (
 	"container/list"
@@ -36,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -157,6 +162,17 @@ type ServerConfig struct {
 	// Burst is the rate limiter's bucket depth (0 means
 	// max(1, 2×RatePerSec)).
 	Burst int
+	// TrustProxy keys the per-client rate limiter on the first
+	// X-Forwarded-For hop instead of the socket address. Enable only
+	// behind a trusted reverse proxy that sets the header: it is
+	// client-forgeable, so trusting it on a directly exposed server
+	// lets one client spread its traffic over arbitrary buckets.
+	TrustProxy bool
+	// StreamBuffer is each stream subscriber's buffered-cell capacity
+	// (≤ 0 means DefaultStreamBuffer). A subscriber that falls this
+	// many cells behind the sweep is disconnected with a terminal
+	// "dropped" event instead of blocking the run (DESIGN.md §12).
+	StreamBuffer int
 }
 
 // SweepRequest is a sweep submission: one registered scenario swept
@@ -220,6 +236,11 @@ type sweep struct {
 	cells  int
 	cached int
 
+	// bcast fans resolved cells out to stream subscribers. Sweeps
+	// created by Submit get one up front; rehydrated sweeps build one
+	// lazily on the first stream request (see streamSource).
+	bcast *broadcaster
+
 	done chan struct{}
 	el   *list.Element // position in the finished-sweep LRU, nil while running
 }
@@ -257,6 +278,8 @@ type serverMetrics struct {
 	evicted        *metrics.Counter
 	rehydrated     *metrics.Counter
 	resultsAborted *metrics.Counter
+	streamEvents   *metrics.Counter
+	streamDropped  *metrics.Counter
 	responses      *metrics.CounterVec
 	latency        map[string]*metrics.Histogram
 }
@@ -278,6 +301,10 @@ type Server struct {
 	maxSweeps int // finished-sweep retention bound; 0 = unbounded
 	maxActive int // running-sweep admission bound; 0 = unbounded
 	limiter   *admission.Limiter
+
+	trustProxy   bool // key the rate limiter on X-Forwarded-For
+	streamBuffer int  // per-subscriber buffered-cell capacity
+	streamSubs   atomic.Int64
 
 	reg *metrics.Registry
 	m   serverMetrics
@@ -322,6 +349,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			burst = int(math.Max(1, 2*cfg.RatePerSec))
 		}
 		s.limiter = admission.NewLimiter(cfg.RatePerSec, burst, 0)
+	}
+	s.trustProxy = cfg.TrustProxy
+	s.streamBuffer = cfg.StreamBuffer
+	if s.streamBuffer <= 0 {
+		s.streamBuffer = DefaultStreamBuffer
 	}
 
 	if cfg.CacheBytes >= 0 {
@@ -394,11 +426,19 @@ func (s *Server) registerMetrics() {
 	s.m.evicted = reg.Counter("hybridd_sweeps_evicted_total", "Finished sweeps evicted from the bounded registry.")
 	s.m.rehydrated = reg.Counter("hybridd_sweeps_rehydrated_total", "Evicted sweeps rehydrated from their persisted records.")
 	s.m.resultsAborted = reg.Counter("hybridd_results_aborted_total", "Result streams aborted mid-body by a write error.")
+	s.m.streamEvents = reg.Counter("hybridd_stream_events_total", "Cell events delivered to stream subscribers.")
+	s.m.streamDropped = reg.Counter("hybridd_stream_dropped_total", "Stream subscribers disconnected for falling behind.")
 	s.m.responses = reg.CounterVec("hybridd_http_responses_total", "HTTP responses by endpoint and status code.", "endpoint", "code")
 	s.m.latency = make(map[string]*metrics.Histogram)
-	for _, ep := range []string{"scenarios", "submit", "status", "results", "cache_stats", "metrics"} {
+	// "status_wait" and "stream" are dedicated series: a ?wait=1
+	// long-poll and a live stream last as long as the client chooses,
+	// so folding them into "status" (or recording a stream's lifetime
+	// at all — it gets time-to-first-byte instead, see instrument)
+	// would poison the latency ceilings the plain endpoints are held to.
+	for _, ep := range []string{"scenarios", "submit", "status", "status_wait", "results", "stream", "cache_stats", "metrics"} {
 		s.m.latency[ep] = reg.Histogram("hybridd_http_request_seconds", "Request latency by endpoint.", nil, metrics.L{Name: "endpoint", Value: ep})
 	}
+	reg.GaugeFunc("hybridd_stream_subscribers", "Live stream subscribers.", func() float64 { return float64(s.streamSubs.Load()) })
 
 	reg.GaugeFunc("hybridd_pool_workers", "Shared worker pool size.", func() float64 { return float64(s.pool.Stats().Workers) })
 	reg.GaugeFunc("hybridd_pool_queued", "Cell tasks accepted but not yet dispatched.", func() float64 { return float64(s.pool.Stats().Queued) })
@@ -581,7 +621,7 @@ func (s *Server) Submit(req SweepRequest) (SweepStatus, error) {
 		s.m.shedCapacity.Inc()
 		return SweepStatus{}, &CapacityError{RetryAfter: s.retryAfter()}
 	}
-	sw := &sweep{id: id, req: req, state: SweepRunning, done: make(chan struct{})}
+	sw := &sweep{id: id, req: req, state: SweepRunning, done: make(chan struct{}), bcast: newBroadcaster(s.streamBuffer)}
 	if old := s.sweeps[id]; old != nil && old.el != nil {
 		// Fresh re-run replaces a finished sweep: drop the old entry
 		// from the LRU before the new one takes the map slot.
@@ -624,6 +664,13 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 			sw.cached++
 		}
 		sw.mu.Unlock()
+		if ev.Err == nil {
+			// Fan the resolved cell out to stream subscribers (and into
+			// the replay log for late ones). Failed cells are not
+			// published: the sweep is about to fail as a whole, and the
+			// terminal "failed" event carries the error.
+			sw.bcast.publish(chunkFromEvent(ev))
+		}
 	})
 	tables, err := experiments.Generate(sw.req.Scenario, cfg, r)
 
@@ -633,8 +680,10 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 	if err == nil {
 		s.persistSweep(sw)
 	}
+	state := SweepDone
 	sw.mu.Lock()
 	if err != nil {
+		state = SweepFailed
 		sw.state = SweepFailed
 		sw.errMsg = err.Error()
 	} else {
@@ -651,6 +700,9 @@ func (s *Server) runSweep(sw *sweep, fams []graph.Family) {
 	s.finishLocked(sw)
 	s.mu.Unlock()
 	close(sw.done)
+	// Terminate the streams last, after the state flip: a subscriber
+	// woken by the terminal event reads the sweep's final status.
+	sw.bcast.finish(state)
 }
 
 // persistSweep stores the sweep's record in the sweeps namespace under
@@ -848,6 +900,7 @@ func (s *Server) WriteResults(w io.Writer, id, format string) error {
 //	POST /v1/sweeps               — submit a SweepRequest (JSON body)
 //	GET  /v1/sweeps/{id}          — poll one sweep's status (?wait=1 long-polls)
 //	GET  /v1/sweeps/{id}/results  — stream results (?format=md|csv|jsonl)
+//	GET  /v1/sweeps/{id}/stream   — live cell delivery (?format=sse|jsonl, DESIGN.md §12)
 //	GET  /v1/cache/stats          — artifact-store and topology-cache counters
 //	GET  /metrics                 — Prometheus text exposition (DESIGN.md §11)
 //
@@ -862,6 +915,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.instrument("submit", s.handleSubmit))
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrument("results", s.handleResults))
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.instrument("stream", s.handleStream))
 	mux.HandleFunc("GET /v1/cache/stats", s.instrument("cache_stats", s.handleCacheStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	// Method-less patterns are strictly less specific than the
@@ -873,6 +927,7 @@ func (s *Server) Handler() http.Handler {
 		"/v1/sweeps":              "POST",
 		"/v1/sweeps/{id}":         "GET",
 		"/v1/sweeps/{id}/results": "GET",
+		"/v1/sweeps/{id}/stream":  "GET",
 		"/v1/cache/stats":         "GET",
 		"/metrics":                "GET",
 	} {
@@ -881,27 +936,62 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code for the metrics layer.
+// statusRecorder captures the response code and first-byte time for
+// the metrics layer.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code      int
+	start     time.Time
+	firstByte time.Time
+	endpoint  string // latency/response series; handlers may relabel (e.g. "status_wait")
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	r.mark()
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.mark()
+	return r.ResponseWriter.Write(p)
+}
+
+func (r *statusRecorder) mark() {
+	if r.firstByte.IsZero() {
+		r.firstByte = time.Now()
+	}
+}
+
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach its Flusher: without it the recorder would swallow the
+// interface and every streaming endpoint behind instrument would
+// silently stop flushing.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// ttfbEndpoints record time-to-first-byte instead of handler time in
+// the latency histogram: a stream's total duration is chosen by the
+// subscriber, not the server, so it measures nothing about the service.
+var ttfbEndpoints = map[string]bool{"stream": true}
+
 // instrument wraps a handler with the endpoint's latency histogram and
-// response-code counter.
+// response-code counter. The observation runs in a defer so endpoints
+// that end by aborting the connection (panic(http.ErrAbortHandler),
+// the chunked-stream truncation signal) are still recorded.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	hist := s.m.latency[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK, start: time.Now(), endpoint: endpoint}
+		defer func() {
+			at := time.Now()
+			if ttfbEndpoints[rec.endpoint] && !rec.firstByte.IsZero() {
+				at = rec.firstByte
+			}
+			if hist := s.m.latency[rec.endpoint]; hist != nil {
+				hist.Observe(at.Sub(rec.start).Seconds())
+			}
+			s.m.responses.With(rec.endpoint, strconv.Itoa(rec.code)).Inc()
+		}()
 		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
-		s.m.responses.With(endpoint, strconv.Itoa(rec.code)).Inc()
 	}
 }
 
@@ -940,8 +1030,19 @@ func retryAfterSeconds(d time.Duration) string {
 
 // clientKey identifies a client for rate limiting: the host part of
 // the remote address, so every connection from one source shares one
-// bucket regardless of port.
-func clientKey(r *http.Request) string {
+// bucket regardless of port. With TrustProxy set, the first hop of
+// X-Forwarded-For — the original client as recorded by the fronting
+// proxy — takes precedence; otherwise the header is ignored, since a
+// directly exposed server would be trusting a client-forgeable value.
+func (s *Server) clientKey(r *http.Request) string {
+	if s.trustProxy {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			first, _, _ := strings.Cut(xff, ",")
+			if first = strings.TrimSpace(first); first != "" {
+				return first
+			}
+		}
+	}
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return host
 	}
@@ -974,7 +1075,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Per-client token-bucket rate limiting (DESIGN.md §11): shed
 	// before touching the body, with a JSON 429 + Retry-After.
 	if s.limiter != nil {
-		if ok, retry := s.limiter.Allow(clientKey(r)); !ok {
+		if ok, retry := s.limiter.Allow(s.clientKey(r)); !ok {
 			s.m.shedRate.Inc()
 			w.Header().Set("Retry-After", retryAfterSeconds(retry))
 			writeError(w, http.StatusTooManyRequests,
@@ -1013,6 +1114,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		// A long-poll's duration is the sweep's runtime, not the
+		// handler's — record it under its own latency series so it
+		// can't poison the plain status endpoint's ceiling.
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.endpoint = "status_wait"
+		}
 		// Long-poll bound to the client connection: a disconnect
 		// cancels r.Context(), so abandoned waiters don't pile up.
 		st, err := s.WaitContext(r.Context(), id)

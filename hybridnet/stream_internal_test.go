@@ -1,0 +1,163 @@
+package hybridnet
+
+// White-box tests for the streaming seams that are invisible from the
+// public surface: the broadcaster's bounded-buffer drop policy, the
+// streamLoop disconnect it triggers, the statusRecorder's Unwrap (the
+// http.Flusher regression behind instrument), and the rate limiter's
+// client keying in both proxy-trust modes.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBroadcasterSlowConsumerDrop: a subscriber whose buffer is full
+// is marked dropped and closed without blocking publish; its buffered
+// chunks stay readable, and later publishes don't touch it.
+func TestBroadcasterSlowConsumerDrop(t *testing.T) {
+	b := newBroadcaster(1)
+	replay, sub, terminal := b.subscribe()
+	if len(replay) != 0 || sub == nil || terminal != "" {
+		t.Fatalf("fresh subscribe: replay=%d sub=%v terminal=%q", len(replay), sub, terminal)
+	}
+	b.publish(cellChunk{index: 0}) // fills the buffer
+	b.publish(cellChunk{index: 1}) // overflows: must not block, must drop
+	if !b.wasDropped(sub) {
+		t.Fatal("overflowed subscriber not marked dropped")
+	}
+	if c, ok := <-sub.ch; !ok || c.index != 0 {
+		t.Fatalf("buffered chunk lost after drop: %v %v", c, ok)
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("dropped subscriber's channel not closed")
+	}
+	b.publish(cellChunk{index: 2}) // must not panic on the closed channel
+	b.unsubscribe(sub)             // must tolerate an already-dropped sub
+}
+
+// TestStreamLoopSlowConsumerDisconnect: end to end through streamLoop,
+// a consumer that stalls while the sweep keeps resolving cells is
+// disconnected with a terminal dropped event and ErrStreamLagged.
+func TestStreamLoopSlowConsumerDisconnect(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Workers: 1, CacheBytes: -1, StreamBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sw := &sweep{id: "sw-test", state: SweepRunning, done: make(chan struct{}), bcast: newBroadcaster(1)}
+	sw.bcast.publish(cellChunk{index: 0}) // lands in the replay snapshot
+
+	release := make(chan struct{})
+	var events []StreamEvent
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.streamLoop(context.Background(), sw, 0, func(ev StreamEvent) error {
+			if len(events) == 0 {
+				<-release // stall on the first delivery
+			}
+			events = append(events, ev)
+			return nil
+		})
+	}()
+
+	// Wait for the subscription, then resolve more cells than the
+	// stalled subscriber's one-chunk buffer can hold.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sw.bcast.mu.Lock()
+		n := len(sw.bcast.subs)
+		sw.bcast.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("streamLoop never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sw.bcast.publish(cellChunk{index: 1}) // buffered
+	sw.bcast.publish(cellChunk{index: 2}) // overflow: disconnects the sub
+	close(release)
+
+	if err := <-errc; err != ErrStreamLagged {
+		t.Fatalf("streamLoop error = %v, want ErrStreamLagged", err)
+	}
+	if len(events) == 0 || events[len(events)-1].Kind != StreamDropped {
+		t.Fatalf("events = %+v, want terminal dropped event", events)
+	}
+	var got []int
+	for _, ev := range events[:len(events)-1] {
+		if ev.Kind != StreamCell {
+			t.Fatalf("unexpected %q event before the drop", ev.Kind)
+		}
+		got = append(got, ev.Index)
+	}
+	// The replayed cell and the one buffered chunk arrive; the
+	// overflowing cell is what triggered the disconnect.
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("delivered cells %v, want [0 1]", got)
+	}
+}
+
+// TestInstrumentPreservesFlusher is the statusRecorder regression
+// test: a streaming handler behind instrument must still reach the
+// server's http.Flusher through http.NewResponseController. Before
+// Unwrap existed, the recorder silently swallowed the interface.
+func TestInstrumentPreservesFlusher(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Workers: 1, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var flushErr error
+	h := srv.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("x"))
+		flushErr = http.NewResponseController(w).Flush()
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if flushErr != nil {
+		t.Fatalf("Flush through instrument: %v (statusRecorder must expose Unwrap)", flushErr)
+	}
+	if !rec.Flushed {
+		t.Fatal("underlying ResponseWriter never saw the flush")
+	}
+}
+
+// TestClientKeyTrustProxy: by default the limiter keys on the socket
+// address even when X-Forwarded-For is present (the header is
+// client-forgeable); with TrustProxy it keys on the header's first
+// hop — the original client as recorded by the proxy — and still
+// falls back to the socket address when the header is absent.
+func TestClientKeyTrustProxy(t *testing.T) {
+	direct, err := NewServer(ServerConfig{Workers: 1, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	proxied, err := NewServer(ServerConfig{Workers: 1, CacheBytes: -1, TrustProxy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxied.Close()
+
+	req := httptest.NewRequest("POST", "/v1/sweeps", nil)
+	req.RemoteAddr = "10.0.0.1:4242"
+	req.Header.Set("X-Forwarded-For", " 203.0.113.7 , 198.51.100.2")
+
+	if got := direct.clientKey(req); got != "10.0.0.1" {
+		t.Errorf("default mode key = %q, want socket host", got)
+	}
+	if got := proxied.clientKey(req); got != "203.0.113.7" {
+		t.Errorf("trust-proxy key = %q, want first X-Forwarded-For hop", got)
+	}
+	req.Header.Del("X-Forwarded-For")
+	if got := proxied.clientKey(req); got != "10.0.0.1" {
+		t.Errorf("trust-proxy without header = %q, want socket host", got)
+	}
+}

@@ -100,6 +100,9 @@ func nqScalingScenario(name string, families []graph.Family, ns, ks []int) *runn
 				Diameter:  diam,
 			}}, nil
 		},
+		RenderRow: func(c *runner.Cell, r NQScalingRow) runner.RenderedRow {
+			return runner.RenderedRow{Table: name, Keys: nqScalingKeys, Values: nqScalingValues(r)}
+		},
 	}
 }
 
@@ -119,23 +122,33 @@ func NQScalingLargeData(rows []NQScalingRow) *runner.Table {
 	return nqScalingData("nqscaling-large", "NQ_k scaling at large n (Theorems 15/16)", rows)
 }
 
+// nqScalingKeys and nqScalingValues are shared between the finished
+// table rendering and the per-cell stream rendering
+// (Scenario.RenderRow), so streamed rows match the document byte for
+// byte.
+var nqScalingKeys = []string{"family", "n", "diameter", "k", "nq", "predicted", "ratio"}
+
+func nqScalingValues(r NQScalingRow) []string {
+	return []string{
+		r.Family,
+		fmt.Sprintf("%d", r.N),
+		fmt.Sprintf("%d", r.Diameter),
+		fmt.Sprintf("%d", r.K),
+		fmt.Sprintf("%d", r.NQ),
+		f1(r.Predicted),
+		fmt.Sprintf("%.2f", r.Ratio),
+	}
+}
+
 func nqScalingData(name, title string, rows []NQScalingRow) *runner.Table {
 	t := &runner.Table{
 		Name:   name,
 		Title:  title,
 		Header: []string{"family", "n", "D", "k", "NQ_k", "Θ(k^{1/(d+1)}) pred.", "ratio"},
-		Keys:   []string{"family", "n", "diameter", "k", "nq", "predicted", "ratio"},
+		Keys:   nqScalingKeys,
 	}
 	for _, r := range rows {
-		t.Rows = append(t.Rows, []string{
-			r.Family,
-			fmt.Sprintf("%d", r.N),
-			fmt.Sprintf("%d", r.Diameter),
-			fmt.Sprintf("%d", r.K),
-			fmt.Sprintf("%d", r.NQ),
-			f1(r.Predicted),
-			fmt.Sprintf("%.2f", r.Ratio),
-		})
+		t.Rows = append(t.Rows, nqScalingValues(r))
 	}
 	return t
 }

@@ -43,6 +43,9 @@ type CellCache interface {
 type CellEvent struct {
 	// Cell is the finished (or cache-served) cell.
 	Cell *Cell
+	// Total is the number of cells in the sweep's canonical expansion;
+	// Cell.Index ranges over [0, Total).
+	Total int
 	// Key is the cell's cache key; empty when the runner has no cache.
 	Key string
 	// Cached reports that the rows came from the cache and the cell
@@ -50,6 +53,11 @@ type CellEvent struct {
 	Cached bool
 	// Rows is the number of rows the cell contributed.
 	Rows int
+	// Rendered holds the cell's rows in table coordinates when the
+	// scenario declares a RenderRow hook and the runner has an
+	// observer (nil otherwise) — the payload streaming consumers
+	// forward as the cell resolves (DESIGN.md §12).
+	Rendered []RenderedRow
 	// Err is the cell's failure, if any.
 	Err error
 }

@@ -102,6 +102,15 @@ type Scenario[T any] struct {
 	// Config.Seed is ignored and replaced by the cell's derived seed.
 	Model hybrid.Config
 	Run   func(c *Cell) ([]T, error)
+	// RenderRow, when non-nil, renders one of the cell's rows into its
+	// table coordinates — the table name, machine column keys, and
+	// formatted values the scenario's table rendering emits for that
+	// row. It must be a pure function of the row and the cell
+	// coordinates, so a streamed row is byte-identical to the finished
+	// document's (DESIGN.md §12). Collect invokes it only when the
+	// runner has an Observer, and attaches the result to
+	// CellEvent.Rendered.
+	RenderRow func(c *Cell, row T) RenderedRow
 }
 
 // Cell is one unit of sweep work: a single coordinate of the scenario
@@ -365,6 +374,20 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 	results := make([][]T, len(cells))
 	errs := make([]error, len(cells))
 
+	// render materializes a cell's rows in table coordinates for the
+	// observer's event — only when someone is listening and the
+	// scenario knows how (streaming delivery, DESIGN.md §12).
+	render := func(c *Cell, rows []T) []RenderedRow {
+		if sc.RenderRow == nil || r == nil || r.Observer == nil || len(rows) == 0 {
+			return nil
+		}
+		out := make([]RenderedRow, len(rows))
+		for i := range rows {
+			out[i] = sc.RenderRow(c, rows[i])
+		}
+		return out
+	}
+
 	// Cache-lookup pass: resolve hits up front so only misses are
 	// dispatched.
 	cache := r.cache()
@@ -378,7 +401,8 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 			if blob, ok := cache.Get(keys[i]); ok {
 				if rows, err := decodeRows[T](blob); err == nil {
 					results[i] = rows
-					r.observe(CellEvent{Cell: &cells[i], Key: keys[i], Cached: true, Rows: len(rows)})
+					r.observe(CellEvent{Cell: &cells[i], Total: len(cells), Key: keys[i], Cached: true,
+						Rows: len(rows), Rendered: render(&cells[i], rows)})
 					continue
 				}
 				// An undecodable entry (e.g. written by an older row
@@ -394,7 +418,10 @@ func Collect[T any](r *Runner, sc *Scenario[T]) ([]T, error) {
 
 	runCell := func(i int) {
 		results[i], errs[i] = sc.Run(&cells[i])
-		ev := CellEvent{Cell: &cells[i], Rows: len(results[i]), Err: errs[i]}
+		ev := CellEvent{Cell: &cells[i], Total: len(cells), Rows: len(results[i]), Err: errs[i]}
+		if errs[i] == nil {
+			ev.Rendered = render(&cells[i], results[i])
+		}
 		if cache != nil {
 			ev.Key = keys[i]
 			if errs[i] == nil {

@@ -6,6 +6,7 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -59,17 +60,46 @@ func WriteTable(s Sink, t *Table) error {
 	return s.EndTable()
 }
 
-// Markdown renders a header and rows as a GitHub-flavored table.
+// escapeCell makes one value safe inside a GFM table: an unescaped
+// pipe would split the cell and a raw newline would terminate the row,
+// so pipes are backslash-escaped and newlines become <br> (carriage
+// returns are dropped). Values without either are returned unchanged.
+func escapeCell(v string) string {
+	if !strings.ContainsAny(v, "|\n\r") {
+		return v
+	}
+	v = strings.ReplaceAll(v, "\r", "")
+	v = strings.ReplaceAll(v, "|", `\|`)
+	return strings.ReplaceAll(v, "\n", "<br>")
+}
+
+// markdownRow renders one escaped GFM table row, newline-terminated.
+func markdownRow(values []string) string {
+	escaped, copied := values, false
+	for i, v := range values {
+		if e := escapeCell(v); e != v {
+			if !copied {
+				escaped, copied = append([]string(nil), values...), true
+			}
+			escaped[i] = e
+		}
+	}
+	return "| " + strings.Join(escaped, " | ") + " |\n"
+}
+
+// Markdown renders a header and rows as a GitHub-flavored table. Cell
+// values containing pipes or newlines are escaped so they cannot
+// corrupt the table structure.
 func Markdown(header []string, rows [][]string) string {
 	var b strings.Builder
-	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	b.WriteString(markdownRow(header))
 	sep := make([]string, len(header))
 	for i := range sep {
 		sep[i] = "---"
 	}
 	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
 	for _, r := range rows {
-		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+		b.WriteString(markdownRow(r))
 	}
 	return b.String()
 }
@@ -93,9 +123,9 @@ func (s *MarkdownSink) BeginTable(t *Table) error {
 	return err
 }
 
-// Row writes one table row.
+// Row writes one table row, escaping pipes and newlines in the values.
 func (s *MarkdownSink) Row(values []string) error {
-	_, err := io.WriteString(s.W, "| "+strings.Join(values, " | ")+" |\n")
+	_, err := io.WriteString(s.W, markdownRow(values))
 	return err
 }
 
@@ -172,3 +202,34 @@ func (s *JSONLSink) Row(values []string) error {
 
 // EndTable is a no-op for JSONL.
 func (s *JSONLSink) EndTable() error { return nil }
+
+// RenderedRow is one formatted table row in table coordinates: the
+// table's machine name, its column keys, and the formatted values —
+// exactly what the owning scenario's table rendering emits for the
+// row. It is the unit of streaming delivery (DESIGN.md §12): a cell's
+// rendered rows, encoded through EncodeJSONL, are byte-identical to
+// the slice of the finished document the cell contributes.
+type RenderedRow struct {
+	Table  string
+	Keys   []string
+	Values []string
+}
+
+// EncodeJSONL renders rows through the JSONL sink, producing exactly
+// the bytes the static JSONL document carries for those rows (one JSON
+// object per line, keys sorted). This shared path is what certifies
+// streamed and static output byte-identical.
+func EncodeJSONL(rows []RenderedRow) []byte {
+	if len(rows) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, r := range rows {
+		// BeginTable/Row never fail on an in-memory buffer: the JSON
+		// encoder cannot error on a map[string]string.
+		sink.BeginTable(&Table{Name: r.Table, Keys: r.Keys})
+		sink.Row(r.Values)
+	}
+	return buf.Bytes()
+}

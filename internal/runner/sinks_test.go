@@ -92,3 +92,59 @@ func TestTableKeysDefaultToHeader(t *testing.T) {
 		t.Fatalf("header not used as keys: %s", buf.String())
 	}
 }
+
+// TestMarkdownEscapesStructuralCharacters: cell values carrying pipes
+// or newlines must not corrupt the GFM table structure — pipes are
+// backslash-escaped, newlines become <br>, carriage returns vanish —
+// in both the batch renderer and the streaming sink (golden output).
+func TestMarkdownEscapesStructuralCharacters(t *testing.T) {
+	header := []string{"family", "note"}
+	rows := [][]string{
+		{"path|cycle", "line1\nline2"},
+		{"grid2d", "cr\r\nlf"},
+		{"plain", "untouched"},
+	}
+	const want = "| family | note |\n" +
+		"| --- | --- |\n" +
+		"| path\\|cycle | line1<br>line2 |\n" +
+		"| grid2d | cr<br>lf |\n" +
+		"| plain | untouched |\n"
+	if got := Markdown(header, rows); got != want {
+		t.Errorf("Markdown escaping:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	var buf bytes.Buffer
+	sink := &MarkdownSink{W: &buf}
+	if err := WriteTable(sink, &Table{Header: header, Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want+"\n" {
+		t.Errorf("MarkdownSink escaping:\ngot:\n%s\nwant:\n%s", got, want+"\n")
+	}
+
+	// Escaping must not mutate the caller's row slices.
+	if rows[0][1] != "line1\nline2" {
+		t.Errorf("Markdown mutated its input: %q", rows[0][1])
+	}
+}
+
+// TestEncodeJSONLMatchesJSONLSink: the per-cell stream encoding is the
+// same bytes the static JSONL sink emits for those rows — the
+// foundation of the stream/static byte-identity contract.
+func TestEncodeJSONLMatchesJSONLSink(t *testing.T) {
+	tbl := demoTable()
+	var static bytes.Buffer
+	if err := WriteTable(NewJSONLSink(&static), tbl); err != nil {
+		t.Fatal(err)
+	}
+	var rendered []RenderedRow
+	for _, row := range tbl.Rows {
+		rendered = append(rendered, RenderedRow{Table: tbl.Name, Keys: tbl.Keys, Values: row})
+	}
+	if got := EncodeJSONL(rendered); !bytes.Equal(got, static.Bytes()) {
+		t.Errorf("EncodeJSONL:\ngot:\n%s\nwant:\n%s", got, static.Bytes())
+	}
+	if EncodeJSONL(nil) != nil {
+		t.Error("EncodeJSONL(nil) must be nil")
+	}
+}
