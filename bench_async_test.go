@@ -1,0 +1,88 @@
+package repro_test
+
+// BenchmarkAsync* measures the asynchronous backend's scheduling fast
+// paths (DESIGN.md §13) against the engine's forensic full-trace mode
+// — the unoptimized behaviour the fast paths replaced:
+//
+//   - DisseminateDense: n-token dissemination on an expander, the
+//     payload-heavy workload. The default trace folds a 64-bit
+//     fingerprint per Set payload; full-trace mode folds every member
+//     of every delivered set into the sha256 stream.
+//   - BFSFaultFree: hop-distance flooding with small payloads. The
+//     default transport answers fault-free sends analytically without
+//     touching per-pair state; full-trace mode walks the per-attempt
+//     machinery for every message.
+//
+// Both modes run the same event schedule and converge to identical
+// outputs — the speedup column records the scheduler optimization, not
+// a different computation. The committed BENCH_async.json (regenerate
+// with cmd/benchjson -table bench_async) records the default mode
+// against the baseline, produced by running this file with
+// REPRO_BENCH_ASYNC_FULLTRACE=1.
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+// asyncBenchOptions returns the engine options under measurement:
+// full-trace mode when REPRO_BENCH_ASYNC_FULLTRACE=1 (the committed
+// baseline column), the default fingerprint trace otherwise.
+func asyncBenchOptions(seed int64) async.Options {
+	return async.Options{
+		Seed:      seed,
+		FullTrace: os.Getenv("REPRO_BENCH_ASYNC_FULLTRACE") != "",
+	}
+}
+
+// BenchmarkAsyncDisseminateDense: every node starts with one token, so
+// k = n and every delivered gossip message carries an n-bit set — the
+// payload-fold-dominated regime.
+func BenchmarkAsyncDisseminateDense(b *testing.B) {
+	g, err := graph.Build(graph.FamilyExpander, 768, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokensAt := make([]int, g.N())
+	for v := range tokensAt {
+		tokensAt[v] = 1
+	}
+	opt := asyncBenchOptions(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets, _, err := async.Disseminate(g, tokensAt, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sets[0].Count() != g.N() {
+			b.Fatal("incomplete dissemination")
+		}
+	}
+}
+
+// BenchmarkAsyncBFSFaultFree: hop-distance flooding with word-sized
+// payloads — the transport-dominated regime, where the analytic
+// fault-free send path skips the per-pair attempt machinery.
+func BenchmarkAsyncBFSFaultFree(b *testing.B) {
+	g, err := graph.Build(graph.FamilyExpander, 2048, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := asyncBenchOptions(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist, _, err := async.BFS(g, 0, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dist[g.N()-1] >= graph.Inf {
+			b.Fatal("unreachable node")
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cliutil"
 )
 
 const benchText = `goos: linux
@@ -132,15 +134,15 @@ func TestBenchjsonVerify(t *testing.T) {
 	}
 }
 
-// TestUsageShape pins the shared cliutil -h format every binary emits.
+// TestUsageShape pins the shared cliutil -h format every binary emits:
+// the validator fails on any undocumented flag or a missing Examples
+// block.
 func TestUsageShape(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-h"}, &buf); err != nil {
 		t.Fatalf("-h returned %v", err)
 	}
-	for _, want := range []string{"Usage: benchjson [flags]", "Flags:", "Examples:"} {
-		if !strings.Contains(buf.String(), want) {
-			t.Errorf("usage missing %q:\n%s", want, buf.String())
-		}
+	if err := cliutil.VerifyUsageText("benchjson", buf.String()); err != nil {
+		t.Errorf("usage text invalid: %v\n%s", err, buf.String())
 	}
 }

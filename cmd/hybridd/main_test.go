@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cliutil"
 )
 
 // startServer runs the binary's run() on an ephemeral port and returns
@@ -252,10 +254,11 @@ func TestUsage(t *testing.T) {
 		t.Fatalf("-h: %v", err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Usage: hybridd [flags]", "Flags:", "-addr", "Examples:"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("usage missing %q:\n%s", want, out)
-		}
+	if !strings.Contains(out, "-addr") {
+		t.Errorf("usage missing -addr:\n%s", out)
+	}
+	if err := cliutil.VerifyUsageText("hybridd", out); err != nil {
+		t.Errorf("usage text invalid: %v\n%s", err, out)
 	}
 }
 

@@ -30,7 +30,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -47,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/sse"
 )
 
 func main() {
@@ -257,54 +257,24 @@ func (c *loadClient) stream(ctx context.Context, id string) (streamResult, error
 	var res streamResult
 	rows := make(map[int][]string)
 	terminal := ""
-	evName, evID := "", -1
-	var data []string
-	flush := func() error {
-		if evName == "" {
-			return nil
-		}
+	err = sse.Decode(resp.Body, func(ev sse.Event) error {
 		if res.firstEvent == 0 {
 			res.firstEvent = time.Since(start)
 		}
-		switch evName {
+		switch ev.Name {
 		case "cell":
-			if _, dup := rows[evID]; dup {
-				return fmt.Errorf("stream %s: cell %d delivered twice", id, evID)
+			if _, dup := rows[ev.ID]; dup {
+				return fmt.Errorf("stream %s: cell %d delivered twice", id, ev.ID)
 			}
-			rows[evID] = data
+			rows[ev.ID] = ev.Data
 			res.cells++
 		case "done", "failed", "dropped":
-			terminal = evName
+			terminal = ev.Name
 		}
-		evName, evID, data = "", -1, nil
 		return nil
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case line == "":
-			if err := flush(); err != nil {
-				return streamResult{}, err
-			}
-		case strings.HasPrefix(line, "event: "):
-			evName = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "id: "):
-			if evID, err = strconv.Atoi(strings.TrimPrefix(line, "id: ")); err != nil {
-				return streamResult{}, fmt.Errorf("stream %s: bad event id %q", id, line)
-			}
-		case strings.HasPrefix(line, "data: "):
-			data = append(data, strings.TrimPrefix(line, "data: "))
-		default:
-			return streamResult{}, fmt.Errorf("stream %s: unparseable SSE line %q", id, line)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	})
+	if err != nil {
 		return streamResult{}, fmt.Errorf("stream %s: %v", id, err)
-	}
-	if err := flush(); err != nil {
-		return streamResult{}, err
 	}
 	if terminal != "done" {
 		return streamResult{}, fmt.Errorf("stream %s: terminal event %q, want done", id, terminal)

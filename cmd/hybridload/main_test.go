@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/hybridnet"
+	"repro/internal/cliutil"
 )
 
 // startBackend hosts a real sweep server over httptest for the load
@@ -94,10 +95,13 @@ func TestUsage(t *testing.T) {
 	if err := run(context.Background(), []string{"-h"}, &buf); err != nil {
 		t.Fatalf("-h: %v", err)
 	}
-	for _, want := range []string{"Usage: hybridload [flags]", "-mix", "-waves", "Examples:"} {
+	for _, want := range []string{"-mix", "-waves"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("usage missing %q:\n%s", want, buf.String())
 		}
+	}
+	if err := cliutil.VerifyUsageText("hybridload", buf.String()); err != nil {
+		t.Errorf("usage text invalid: %v\n%s", err, buf.String())
 	}
 }
 

@@ -27,6 +27,7 @@ func ExampleServer() {
 	// table4
 	// figure1
 	// nqscaling-large
+	// robustness
 }
 
 // ExampleServer_Submit runs one sweep in-process and demonstrates the

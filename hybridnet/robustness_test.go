@@ -1,0 +1,99 @@
+package hybridnet_test
+
+// Serving contract for the robustness artifact (DESIGN.md §13): the
+// async-backend fault sweep must be servable like any other registered
+// scenario — static results, ?wait=1 long-poll, and /stream delivery
+// all byte-consistent (§12).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/hybridnet"
+)
+
+func robustnessRequest() hybridnet.SweepRequest {
+	// genRobustness divides N by 4: this sweeps 16-node instances.
+	return hybridnet.SweepRequest{Scenario: "robustness", Families: []string{"path"}, N: 64}
+}
+
+// TestRobustnessListedInScenarios: the registry surface must advertise
+// the artifact.
+func TestRobustnessListedInScenarios(t *testing.T) {
+	srv := newTestServer(t, hybridnet.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"robustness"`) {
+		t.Fatalf("/v1/scenarios missing robustness:\n%s", body)
+	}
+}
+
+// TestRobustnessServedByteConsistent: submit the sweep over HTTP,
+// long-poll it to completion with ?wait=1, and check the static
+// document equals the live-streamed rows reassembled in canonical cell
+// order.
+func TestRobustnessServedByteConsistent(t *testing.T) {
+	srv := newTestServer(t, hybridnet.ServerConfig{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqBody, _ := json.Marshal(robustnessRequest())
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st hybridnet.SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ID == "" {
+		t.Fatalf("submit returned no id: %+v", st)
+	}
+
+	// Stream the running sweep; reassembly checks exactly-once delivery.
+	evs := collectStream(t, srv, st.ID)
+	if last := evs[len(evs)-1]; last.Kind != hybridnet.StreamDone {
+		t.Fatalf("terminal event %q, want %q", last.Kind, hybridnet.StreamDone)
+	}
+	streamed := reassemble(t, evs)
+
+	// ?wait=1 long-poll must report the finished state.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + st.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != "done" {
+		t.Fatalf("wait=1 state %q, want done (err=%q)", st.State, st.Error)
+	}
+
+	// The static JSONL document equals the streamed reassembly.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + st.ID + "/results?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(streamed, static) {
+		t.Fatalf("streamed rows differ from static document:\nstream:\n%s\nstatic:\n%s", streamed, static)
+	}
+	if !strings.Contains(string(static), `"profile":"loss=0.20"`) {
+		t.Fatalf("static document missing fault-profile rows:\n%s", static)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/sse"
 )
 
 // DefaultStreamBuffer is each stream subscriber's buffered-cell
@@ -410,19 +411,17 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, sw *sweep) {
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	// The frame rendering is shared with the consumer side through
+	// internal/sse, so hybridload's parser and this writer cannot
+	// drift apart.
 	writeEvent := func(event string, id int, data []byte) error {
-		var b bytes.Buffer
-		fmt.Fprintf(&b, "event: %s\n", event)
-		if id >= 0 {
-			fmt.Fprintf(&b, "id: %d\n", id)
-		}
+		ev := sse.Event{Name: event, ID: id}
 		if len(data) > 0 {
 			for _, line := range bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n")) {
-				fmt.Fprintf(&b, "data: %s\n", line)
+				ev.Data = append(ev.Data, string(line))
 			}
 		}
-		b.WriteByte('\n')
-		if _, err := w.Write(b.Bytes()); err != nil {
+		if _, err := w.Write(ev.Frame()); err != nil {
 			return err
 		}
 		return rc.Flush()

@@ -102,7 +102,11 @@ func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 	if l.rate <= 0 {
 		return false, time.Hour // effectively never; a zero-rate limiter only serves its initial burst
 	}
-	return false, time.Duration(math.Ceil((1-b.tokens)/l.rate*float64(time.Second)))
+	// The extra nanosecond absorbs float rounding in the refill
+	// arithmetic: waiting exactly the hint must leave the bucket at a
+	// full token, not a hair under one.
+	return false, time.Duration(math.Ceil((1-b.tokens)/l.rate*float64(time.Second))) + 1
+
 }
 
 // Clients returns the number of tracked buckets (for stats and tests).

@@ -94,3 +94,18 @@ func (s Set) Clone() Set {
 	copy(c.words, s.words)
 	return c
 }
+
+// Fingerprint folds the set's capacity and contents into 64 avalanche
+// bits (a splitmix64-style running fold). Two sets with equal capacity
+// and members always fingerprint identically; the async backend folds
+// this instead of the full member list into its trace digest.
+func (s Set) Fingerprint() uint64 {
+	z := uint64(s.n) ^ 0x9E3779B97F4A7C15
+	for _, w := range s.words {
+		z ^= w + 0x9E3779B97F4A7C15 + (z << 6) + (z >> 2)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return z
+}

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"bytes"
 	"errors"
+	"flag"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,97 @@ func TestUsageShape(t *testing.T) {
 	// Sections must appear in canonical order.
 	if iu, ifl, ie := strings.Index(out, "Usage:"), strings.Index(out, "Flags:"), strings.Index(out, "Examples:"); !(iu < ifl && ifl < ie) {
 		t.Errorf("sections out of order:\n%s", out)
+	}
+}
+
+// TestVerifyUsageText drives the validator over flag sets rendered by
+// this package itself, one case per failure mode, so the per-binary
+// usage tests (each cmd's TestUsage*) can rely on it to catch
+// undocumented flags and missing examples.
+func TestVerifyUsageText(t *testing.T) {
+	render := func(build func(fs *flag.FlagSet)) string {
+		var buf bytes.Buffer
+		fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+		fs.SetOutput(&buf)
+		build(fs)
+		fs.Usage()
+		return buf.String()
+	}
+	cases := []struct {
+		name    string
+		text    string
+		wantErr string // substring; "" means valid
+	}{
+		{
+			name: "documented flags and examples",
+			text: render(func(fs *flag.FlagSet) {
+				SetUsage(fs, "Synopsis.", "demo -x 1", "curl localhost:8080 | demo")
+				fs.Int("x", 0, "the x coordinate")
+				fs.Bool("stream", false, "also consume the stream")
+				fs.String("addr", "127.0.0.1:8080", "listen address")
+			}),
+		},
+		{
+			name: "multiline docs and defaults",
+			text: render(func(fs *flag.FlagSet) {
+				SetUsage(fs, "Synopsis.", "demo")
+				fs.Int("n", 1024, "approximate node count;\nrounded per family")
+			}),
+		},
+		{
+			name: "undocumented flag",
+			text: render(func(fs *flag.FlagSet) {
+				SetUsage(fs, "Synopsis.", "demo -x 1")
+				fs.Int("x", 0, "the x coordinate")
+				fs.Int("y", 0, "")
+			}),
+			wantErr: "flag -y is undocumented",
+		},
+		{
+			name: "default hint is not documentation",
+			text: render(func(fs *flag.FlagSet) {
+				SetUsage(fs, "Synopsis.", "demo")
+				fs.Int("n", 1024, "")
+			}),
+			wantErr: "flag -n is undocumented",
+		},
+		{
+			name: "no examples",
+			text: render(func(fs *flag.FlagSet) {
+				SetUsage(fs, "Synopsis.")
+				fs.Int("x", 0, "the x coordinate")
+			}),
+			wantErr: "missing Examples section",
+		},
+		{
+			name:    "wrong binary name",
+			text:    "Usage: other [flags]\n\n  s\n\nFlags:\n  -x int\n    \tdoc\n\nExamples:\n  other -x\n",
+			wantErr: `missing "Usage: demo [flags]" header`,
+		},
+		{
+			name:    "empty flags block",
+			text:    "Usage: demo [flags]\n\n  s\n\nFlags:\n\nExamples:\n  demo\n",
+			wantErr: "lists no flags",
+		},
+		{
+			name:    "blank examples block",
+			text:    "Usage: demo [flags]\n\n  s\n\nFlags:\n  -x int\n    \tdoc\n\nExamples:\n   \n",
+			wantErr: "Examples section is empty",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := VerifyUsageText("demo", tc.text)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid usage rejected: %v\ntext:\n%s", err, tc.text)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v\ntext:\n%s", tc.wantErr, err, tc.text)
+			}
+		})
 	}
 }
 

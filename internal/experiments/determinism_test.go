@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/graph"
@@ -16,9 +17,12 @@ func collectWorkers[T any](workers int, sc *runner.Scenario[T]) ([]T, error) {
 // TestReportByteIdenticalAcrossWorkerCounts is the determinism
 // regression for the sweep runner: one full Table 1 sweep over all
 // eleven default families, rendered into every sink, must produce
-// byte-identical output with 1 worker and with 8. Run under -race this
-// also certifies the parallel sweep is race-clean end to end.
+// byte-identical output at every worker count in the sweep — serial,
+// a small parallel pool, whatever GOMAXPROCS resolves to on this
+// machine, and an oversubscribed pool. Run under -race this also
+// certifies the parallel sweep is race-clean end to end.
 func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	workerSweep := []int{1, 2, runtime.GOMAXPROCS(0), 8}
 	for _, format := range []string{"md", "csv", "jsonl"} {
 		render := func(workers int) []byte {
 			var buf bytes.Buffer
@@ -34,14 +38,15 @@ func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			}
 			return buf.Bytes()
 		}
-		serial := render(1)
-		parallel := render(8)
+		serial := render(workerSweep[0])
 		if len(serial) == 0 {
 			t.Fatalf("%s: empty report", format)
 		}
-		if !bytes.Equal(serial, parallel) {
-			t.Fatalf("%s output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
-				format, serial, parallel)
+		for _, workers := range workerSweep[1:] {
+			if got := render(workers); !bytes.Equal(serial, got) {
+				t.Fatalf("%s output differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					format, workers, serial, got)
+			}
 		}
 	}
 }

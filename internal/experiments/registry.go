@@ -68,6 +68,11 @@ var registry = []struct {
 		Title:   "NQ_k scaling at large n (Theorems 15/16)",
 		Summary: "The Theorem 15/16 analysis on 4n- and 16n-node instances with k up to 4096 — a sweep sized for the shared topology cache (each instance is built once and reused across all k-points); excluded from the default quick report.",
 	}, genNQLarge},
+	{Artifact{
+		Name:    "robustness",
+		Title:   "Robustness — async backend under faults",
+		Summary: "Solution quality and convergence time of the asynchronous fault-injecting backend (DESIGN.md §13) versus loss and churn rates — the robustness axis the round-synchronous analysis doesn't touch; excluded from the default quick report.",
+	}, genRobustness},
 }
 
 // Artifacts returns the registered report artifacts in canonical
@@ -159,6 +164,18 @@ func genNQLarge(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
 		return nil, err
 	}
 	return []*runner.Table{NQScalingLargeData(rows)}, nil
+}
+
+// genRobustness sweeps the async-backend fault grid. Registered for the
+// sweep service and Generate; excluded from the default WriteReport
+// selection like nqscaling-large — the sweep runs three async workloads
+// per fault profile per family.
+func genRobustness(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	rows, err := runner.Collect(r, RobustnessScenario(cfg.Families, cfg.N/4, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{RobustnessData(rows)}, nil
 }
 
 func genTable1(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {

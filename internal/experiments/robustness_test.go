@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+)
+
+// TestRobustnessGenerates runs the robustness artifact at test scale
+// and pins its defining property: the fault-injecting backend converges
+// to the exact answer at every profile — faults cost ticks and retries,
+// not correctness.
+func TestRobustnessGenerates(t *testing.T) {
+	fams := []graph.Family{graph.FamilyPath, graph.FamilyExpander}
+	tables, err := Generate("robustness", ReportConfig{N: 64, Families: fams}, runner.Parallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "robustness" {
+		t.Fatalf("Generate(robustness) returned %+v", tables)
+	}
+	// 2 families × 5 profiles × 3 algorithms = 30 rows.
+	if got := len(tables[0].Rows); got != 30 {
+		t.Fatalf("got %d rows, want 30", got)
+	}
+	keys := tables[0].Keys
+	exactCol, ticksCol := -1, -1
+	for i, k := range keys {
+		switch k {
+		case "exact":
+			exactCol = i
+		case "ticks":
+			ticksCol = i
+		}
+	}
+	if exactCol < 0 || ticksCol < 0 {
+		t.Fatalf("table keys missing exact/ticks: %v", keys)
+	}
+	for _, row := range tables[0].Rows {
+		if row[exactCol] != "true" {
+			t.Errorf("inexact convergence: %v", row)
+		}
+		if row[ticksCol] == "0" {
+			t.Errorf("zero convergence time: %v", row)
+		}
+	}
+}
+
+// TestRobustnessDeterministicAcrossWorkers: the sweep's rendered table
+// must be byte-identical on serial and parallel runners — the scenario
+// inherits the backend's replay determinism.
+func TestRobustnessDeterministicAcrossWorkers(t *testing.T) {
+	fams := []graph.Family{graph.FamilyCycle}
+	cfg := ReportConfig{N: 48, Families: fams}
+	serial, err := Generate("robustness", cfg, runner.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Generate("robustness", cfg, &runner.Runner{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := runner.WriteTable(&runner.MarkdownSink{W: &a}, serial[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.WriteTable(&runner.MarkdownSink{W: &b}, par[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("robustness table differs across runners:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestRobustnessExcludedFromDefaultReport: like nqscaling-large, the
+// fault sweep is reachable only by name.
+func TestRobustnessExcludedFromDefaultReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ReportConfig{N: 16, Families: []graph.Family{graph.FamilyPath}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Robustness") {
+		t.Fatalf("default report includes the robustness artifact:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,146 @@
+// Package sse implements the text/event-stream framing of the sweep
+// service's live delivery (DESIGN.md §12): the server frames each
+// resolved cell as a "cell" event — id: the canonical cell index,
+// data: the cell's JSONL rows — interleaved with "status" heartbeats
+// and closed by one terminal event. Framing and parsing live together
+// here so the producer (hybridnet's SSE handler) and the consumer
+// (hybridload -stream) cannot drift apart, and so the parser is
+// fuzzable in isolation against torn frames and interleaved
+// heartbeats.
+package sse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Event is one parsed (or framable) server-sent event.
+type Event struct {
+	// Name is the event type ("cell", "status", "done", …).
+	Name string
+	// ID is the event's numeric id; -1 when the frame carries no id
+	// field. The sweep protocol's ids are canonical cell indexes, so
+	// they are never negative.
+	ID int
+	// Data holds the data lines, one entry per "data:" field.
+	Data []string
+}
+
+// Frame renders the event in the wire framing the sweep service emits:
+// an "event:" line, an "id:" line when ID ≥ 0, one "data:" line per
+// Data entry, and the blank terminator.
+func (e Event) Frame() []byte {
+	var b strings.Builder
+	b.WriteString("event: ")
+	b.WriteString(e.Name)
+	b.WriteByte('\n')
+	if e.ID >= 0 {
+		b.WriteString("id: ")
+		b.WriteString(strconv.Itoa(e.ID))
+		b.WriteByte('\n')
+	}
+	for _, line := range e.Data {
+		b.WriteString("data: ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// Parser is an incremental line-oriented SSE parser. Feed it one line
+// at a time (without the trailing newline) via Line; a completed event
+// is returned on its blank-line terminator. Flush returns a trailing
+// torn frame — an event whose terminator the stream lost.
+type Parser struct {
+	name  string
+	id    int
+	hasID bool
+	data  []string
+	open  bool // a frame is in progress
+}
+
+// Line consumes one line. When the line completes an event, it returns
+// (event, true, nil). Unparseable lines and malformed ids are errors;
+// comment lines (leading ':') are ignored per the SSE specification.
+func (p *Parser) Line(line string) (Event, bool, error) {
+	// Canonicalize CRLF remnants: bufio.ScanLines strips one trailing
+	// \r before \n but leaves any at EOF, which would make parsing
+	// depend on where the stream was cut.
+	line = strings.TrimRight(line, "\r")
+	switch {
+	case line == "":
+		return p.flush()
+	case strings.HasPrefix(line, ":"):
+		return Event{}, false, nil
+	case strings.HasPrefix(line, "event: "):
+		p.name = strings.TrimPrefix(line, "event: ")
+		p.open = true
+	case strings.HasPrefix(line, "id: "):
+		id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		if err != nil || id < 0 {
+			return Event{}, false, fmt.Errorf("sse: bad event id %q", line)
+		}
+		p.id = id
+		p.hasID = true
+		p.open = true
+	case strings.HasPrefix(line, "data: "):
+		p.data = append(p.data, strings.TrimPrefix(line, "data: "))
+		p.open = true
+	default:
+		return Event{}, false, fmt.Errorf("sse: unparseable line %q", line)
+	}
+	return Event{}, false, nil
+}
+
+// Flush terminates the stream: a torn trailing frame (fields seen but
+// no blank-line terminator) is returned as a final event, matching the
+// tolerant consumption of a stream cut mid-frame.
+func (p *Parser) Flush() (Event, bool) {
+	ev, ok, _ := p.flush()
+	return ev, ok
+}
+
+func (p *Parser) flush() (Event, bool, error) {
+	if !p.open {
+		return Event{}, false, nil
+	}
+	ev := Event{Name: p.name, ID: p.id, Data: p.data}
+	if !p.hasID {
+		ev.ID = -1
+	}
+	*p = Parser{}
+	return ev, true, nil
+}
+
+// Decode parses a complete event stream, invoking emit for every
+// event. A trailing torn frame is emitted before returning. Lines
+// longer than maxLine (1 MiB) fail the scan.
+func Decode(r io.Reader, emit func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	var p Parser
+	for sc.Scan() {
+		ev, ok, err := p.Line(sc.Text())
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if ev, ok := p.Flush(); ok {
+		return emit(ev)
+	}
+	return nil
+}
+
+const maxLine = 1 << 20
