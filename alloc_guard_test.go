@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/hybrid"
 	"repro/internal/nq"
@@ -122,6 +123,54 @@ func TestCoreNQOfAllocFree(t *testing.T) {
 	}
 }
 
+// chatterNode never terminates and floods every neighbor each round —
+// the worst steady-state load for the round engine.
+type chatterNode struct{ neighbors []int }
+
+func (c *chatterNode) Step(round int, _ []int, _ []congest.Word, out *congest.Outbox) bool {
+	for _, u := range c.neighbors {
+		out.Send(u, congest.Word(round))
+	}
+	return false
+}
+
+// TestCoreCongestRoundsAllocationFree pins the sharded round engine's
+// zero-steady-state-allocation guarantee: once a Run has warmed the
+// pooled inboxes and outboxes, each additional round allocates nothing,
+// at one worker and at eight. Per-Run fixed costs (worker goroutines,
+// the wake channel, the timeout error) are allowed; the round-marginal
+// cost is asserted by comparing a 200-round Run against a 10-round Run.
+func TestCoreCongestRoundsAllocationFree(t *testing.T) {
+	requireAllocFree(t)
+	g := coreExpander()
+	for _, workers := range []int{1, 8} {
+		nodes := make([]congest.Node, g.N())
+		for v := range nodes {
+			c := &chatterNode{}
+			g.ForEachNeighbor(v, func(u int, _ int64) {
+				c.neighbors = append(c.neighbors, u)
+			})
+			nodes[v] = c
+		}
+		net, err := hybrid.New(g, hybrid.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := congest.NewRunner(net, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Workers = workers
+		// Warm the pooled per-node buffers and the engine schedulers.
+		r.Run("core/congest", 10)
+		short := testing.AllocsPerRun(3, func() { r.Run("core/congest", 10) })
+		long := testing.AllocsPerRun(3, func() { r.Run("core/congest", 200) })
+		if long > short+2 {
+			t.Fatalf("workers=%d: 200-round Run allocates %.1f, 10-round Run %.1f — rounds are not allocation-free", workers, long, short)
+		}
+	}
+}
+
 // TestCoreKernelAllocBudgets bounds the per-call allocation counts of
 // the CSR graph kernels (each returns freshly allocated results, so the
 // budget is the handful of output slices, not zero).
@@ -135,7 +184,10 @@ func TestCoreKernelAllocBudgets(t *testing.T) {
 		run    func()
 	}{
 		{"BFS", 2, func() { grid.BFS(0) }},
-		{"Dijkstra", 4, func() { weighted.Dijkstra(0) }},
+		// The distHeap scratch is pooled on the graph (PR 9), so the
+		// heap Dijkstras allocate only their result vectors.
+		{"Dijkstra", 1, func() { weighted.Dijkstra(0) }},
+		{"MultiSourceDijkstra", 2, func() { weighted.MultiSourceDijkstra([]int{0, 5, 9}) }},
 		{"HopLimitedDistances", 4, func() { grid.HopLimitedDistances(0, 16) }},
 		{"BallSizes", 2, func() { grid.BallSizes(0, 16) }},
 	}

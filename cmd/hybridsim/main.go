@@ -42,6 +42,7 @@ func run(args []string, w io.Writer) error {
 	eps := fs.Float64("eps", 0.5, "approximation parameter")
 	seed := fs.Int64("seed", 1, "random seed")
 	hybrid0 := fs.Bool("hybrid0", false, "use the HYBRID0 variant")
+	workers := fs.Int("workers", 0, "worker budget for the parallel graph kernels (0 = GOMAXPROCS); output is byte-identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
@@ -49,6 +50,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	graph.SetMaxKernelWorkers(*workers)
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := graph.Build(graph.Family(*family), *n, rng)
 	if err != nil {

@@ -39,6 +39,7 @@ func run(args []string, w io.Writer) error {
 	n := fs.Int("n", 1024, "approximate number of nodes")
 	ks := fs.String("k", "16,64,256,1024", "comma-separated workloads k")
 	family := fs.String("family", "", "single family (default: Theorem 15/16 sweep)")
+	workers := fs.Int("workers", 0, "worker budget for the parallel graph kernels (0 = GOMAXPROCS); output is byte-identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		if cliutil.HelpRequested(err) {
 			return nil
@@ -46,6 +47,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	graph.SetMaxKernelWorkers(*workers)
 	kList, err := parseInts(*ks)
 	if err != nil {
 		return err

@@ -27,6 +27,7 @@ func ExampleServer() {
 	// table4
 	// figure1
 	// nqscaling-large
+	// nqscaling-xl
 	// robustness
 }
 

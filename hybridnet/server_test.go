@@ -464,7 +464,7 @@ func TestServerHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || len(scenarios.Scenarios) != 8 || len(scenarios.Families) != 11 || scenarios.Version == "" {
+	if resp.StatusCode != http.StatusOK || len(scenarios.Scenarios) != 9 || len(scenarios.Families) != 11 || scenarios.Version == "" {
 		t.Fatalf("scenarios endpoint: code=%d %+v", resp.StatusCode, scenarios)
 	}
 

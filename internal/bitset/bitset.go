@@ -76,6 +76,120 @@ func (s Set) AppendIndices(dst []int) []int {
 	return dst
 }
 
+// UnionFrom overwrites s with a ∪ b word by word. All three sets must
+// have equal capacity; shorter operands simply bound the words written.
+// s may alias a or b — each word is read before it is written.
+func (s Set) UnionFrom(a, b Set) {
+	m := len(s.words)
+	if len(a.words) < m {
+		m = len(a.words)
+	}
+	if len(b.words) < m {
+		m = len(b.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndNotFrom overwrites s with a \ b (bits of a not in b) word by word.
+// Capacity rules and aliasing guarantees match UnionFrom. The bottom-up
+// BFS step uses this to peel the newly visited frontier out of the
+// unvisited set in O(n/64) word operations.
+func (s Set) AndNotFrom(a, b Set) {
+	m := len(s.words)
+	if len(a.words) < m {
+		m = len(a.words)
+	}
+	if len(b.words) < m {
+		m = len(b.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// CountRange returns the number of set bits i with lo ≤ i < hi. Interior
+// words go through popcount whole; only the two boundary words are
+// masked, so a 64-bit-aligned range costs exactly (hi-lo)/64 popcounts.
+func (s Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loWord == hiWord {
+		return bits.OnesCount64(s.words[loWord] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[loWord] & loMask)
+	for i := loWord + 1; i < hiWord; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	return c + bits.OnesCount64(s.words[hiWord]&hiMask)
+}
+
+// AppendIndicesRange appends the index of every set bit i with
+// lo ≤ i < hi to dst in increasing order, with the same word-skipping
+// drain as AppendIndices. The parallel kernels iterate 64-bit-aligned
+// node chunks through this so each worker enumerates only its shard.
+func (s Set) AppendIndicesRange(dst []int, lo, hi int) []int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return dst
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := s.words[wi]
+		if wi == loWord {
+			w &= loMask
+		}
+		if wi == hiWord {
+			w &= hiMask
+		}
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Clear resets every bit to zero in O(words) time (compiles to memclr).
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit in O(words) time. Bits past the capacity stay
+// zero, so Count after Fill equals Len.
+func (s Set) Fill() {
+	if s.n == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := uint(s.n) & 63; rem != 0 {
+		s.words[len(s.words)-1] = ^uint64(0) >> (64 - rem)
+	}
+}
+
 // UnionWith adds every bit of o to s. The sets must have equal capacity;
 // extra bits in a larger o are ignored.
 func (s Set) UnionWith(o Set) {

@@ -118,3 +118,125 @@ func TestZeroValue(t *testing.T) {
 	}
 	s.Add(0) // must not panic
 }
+
+// naiveCountRange is the per-bit reference for CountRange.
+func naiveCountRange(s Set, lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		if s.Has(i) {
+			c++
+		}
+	}
+	return c
+}
+
+func randomSet(rng *rand.Rand, n int, density float64) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestUnionFromAndNotFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a := randomSet(rng, n, 0.3)
+		b := randomSet(rng, n, 0.3)
+
+		u := New(n)
+		u.UnionFrom(a, b)
+		d := New(n)
+		d.AndNotFrom(a, b)
+		for i := 0; i < n; i++ {
+			if want := a.Has(i) || b.Has(i); u.Has(i) != want {
+				t.Fatalf("n=%d UnionFrom bit %d = %v, want %v", n, i, u.Has(i), want)
+			}
+			if want := a.Has(i) && !b.Has(i); d.Has(i) != want {
+				t.Fatalf("n=%d AndNotFrom bit %d = %v, want %v", n, i, d.Has(i), want)
+			}
+		}
+
+		// Aliased forms: s = s ∪ b and s = s \ b must behave identically.
+		sa := a.Clone()
+		sa.UnionFrom(sa, b)
+		if sa.Fingerprint() != u.Fingerprint() {
+			t.Fatalf("n=%d aliased UnionFrom diverged", n)
+		}
+		sa = a.Clone()
+		sa.AndNotFrom(sa, b)
+		if sa.Fingerprint() != d.Fingerprint() {
+			t.Fatalf("n=%d aliased AndNotFrom diverged", n)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := randomSet(rng, n, 0.4)
+		for probe := 0; probe < 20; probe++ {
+			lo := rng.Intn(n + 1)
+			hi := rng.Intn(n + 1)
+			if got, want := s.CountRange(lo, hi), naiveCountRange(s, lo, hi); got != want {
+				t.Fatalf("n=%d CountRange(%d,%d)=%d, want %d", n, lo, hi, got, want)
+			}
+		}
+		// Clamping: out-of-range bounds behave like the clipped range.
+		if got, want := s.CountRange(-5, n+100), s.Count(); got != want {
+			t.Fatalf("n=%d clamped CountRange=%d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAppendIndicesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := randomSet(rng, n, 0.4)
+		for probe := 0; probe < 20; probe++ {
+			lo := rng.Intn(n + 1)
+			hi := rng.Intn(n + 1)
+			var want []int
+			for i := lo; i < hi; i++ {
+				if s.Has(i) {
+					want = append(want, i)
+				}
+			}
+			got := s.AppendIndicesRange(nil, lo, hi)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d AppendIndicesRange(%d,%d)=%v, want %v", n, lo, hi, got, want)
+			}
+		}
+		// The full range must agree with AppendIndices.
+		if !slices.Equal(s.AppendIndicesRange(nil, 0, n), s.AppendIndices(nil)) {
+			t.Fatalf("n=%d full-range enumeration diverged from AppendIndices", n)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randomSet(rng, 200, 0.5)
+	s.Clear()
+	if s.Count() != 0 || s.Len() != 200 {
+		t.Fatalf("after Clear: count=%d len=%d", s.Count(), s.Len())
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 256} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+		if s.Has(n) || s.Has(n+1) {
+			t.Fatalf("n=%d: Fill leaked past capacity", n)
+		}
+	}
+}

@@ -14,6 +14,8 @@ package congest
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hybrid"
@@ -55,11 +57,47 @@ type Runner struct {
 	net   *hybrid.Net
 	nodes []Node
 
+	// Workers shards the per-node Step calls of each round across a
+	// worker pool (the sharded intra-cell round engine, DESIGN.md §14).
+	// 0 selects automatically: graph.MaxKernelWorkers() from
+	// parallelMinN nodes upward, one worker below. Outboxes are merged
+	// and delivered in node order regardless of the setting, so rounds,
+	// messages, errors and the engine audit are byte-identical at any
+	// worker count. With more than one worker the node programs run
+	// concurrently: each Step may touch only its own program's state
+	// (the reference programs in this package all qualify).
+	Workers int
+
 	outboxes []Outbox
 	inFrom   [][]int
 	inWords  [][]Word
 	batch    []hybrid.Msg
 	payloads map[[2]int]Word
+}
+
+// parallelMinN is the auto-selection threshold of the sharded round
+// engine: below it one worker avoids the goroutine round-trips.
+const parallelMinN = 4096
+
+// stepChunk is the node-range granularity workers claim per round.
+const stepChunk = 64
+
+// resolveWorkers applies the Workers policy for an n-node round.
+func (r *Runner) resolveWorkers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		if n < parallelMinN {
+			return 1
+		}
+		w = graph.MaxKernelWorkers()
+	}
+	if chunks := (n + stepChunk - 1) / stepChunk; w > chunks {
+		w = chunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // NewRunner wraps net (which should be a CONGEST-mode network, e.g.
@@ -81,6 +119,12 @@ func NewRunner(net *hybrid.Net, nodes []Node) (*Runner, error) {
 // returning the number of rounds executed. Each round's messages are
 // delivered through the engine (SendLocal), so the λ cap and adjacency
 // are enforced; sending two words over one edge in a round is an error.
+//
+// With Workers > 1 (or auto-selected parallelism on large networks) the
+// Step calls of each round shard across a persistent worker pool; the
+// engine traffic — batches, rounds, audit — is byte-identical to the
+// sequential schedule because outboxes merge in node order before the
+// single SendLocal.
 func (r *Runner) Run(phase string, maxRounds int) (int, error) {
 	n := r.net.N()
 	if r.inFrom == nil {
@@ -96,6 +140,9 @@ func (r *Runner) Run(phase string, maxRounds int) (int, error) {
 			r.inWords[v] = r.inWords[v][:0]
 		}
 		r.batch = r.batch[:0]
+	}
+	if workers := r.resolveWorkers(n); workers > 1 {
+		return r.runSharded(phase, maxRounds, n, workers)
 	}
 	for round := 0; round < maxRounds; round++ {
 		allDone := true
@@ -122,18 +169,103 @@ func (r *Runner) Run(phase string, maxRounds int) (int, error) {
 		if allDone && len(r.batch) == 0 {
 			return round, nil
 		}
-		if len(r.batch) > 0 {
-			if _, err := r.net.SendLocal(phase, r.batch); err != nil {
-				return round, err
-			}
-		} else {
-			// A silent round still advances time.
-			r.net.TickLocal(phase, 1)
+		if err := r.deliver(phase, round); err != nil {
+			return round, err
 		}
-		// Deliver in batch order (deterministic, unlike map iteration).
-		for _, m := range r.batch {
-			r.inFrom[m.To] = append(r.inFrom[m.To], m.From)
-			r.inWords[m.To] = append(r.inWords[m.To], r.payloads[[2]int{m.From, m.To}])
+	}
+	return maxRounds, fmt.Errorf("congest: phase %q did not terminate within %d rounds", phase, maxRounds)
+}
+
+// deliver pushes the round's merged batch through the engine and
+// refills the inboxes in batch order (deterministic, unlike map
+// iteration). A silent round still advances time.
+func (r *Runner) deliver(phase string, round int) error {
+	if len(r.batch) > 0 {
+		if _, err := r.net.SendLocal(phase, r.batch); err != nil {
+			return err
+		}
+	} else {
+		r.net.TickLocal(phase, 1)
+	}
+	for _, m := range r.batch {
+		r.inFrom[m.To] = append(r.inFrom[m.To], m.From)
+		r.inWords[m.To] = append(r.inWords[m.To], r.payloads[[2]int{m.From, m.To}])
+	}
+	return nil
+}
+
+// runSharded is the parallel round loop: a pool of persistent worker
+// goroutines (spawned once per Run, woken by one channel token per
+// round) claims fixed node chunks from an atomic cursor and runs the
+// Step calls, writing each node's outbox and truncating its inboxes —
+// state only the claiming worker touches. The main goroutine then
+// merges outboxes into the engine batch in node order, so delivery,
+// dedup errors and termination match the sequential schedule exactly,
+// and rounds stay allocation-free in steady state (channel token, wait
+// group, atomic cursor — no per-round goroutines or buffers).
+func (r *Runner) runSharded(phase string, maxRounds, n, workers int) (int, error) {
+	chunks := (n + stepChunk - 1) / stepChunk
+	var cursor atomic.Int64
+	var notDone atomic.Int32
+	var wg sync.WaitGroup
+	work := make(chan int)
+	defer close(work)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for round := range work {
+				local := int32(0)
+				for {
+					ci := int(cursor.Add(1)) - 1
+					if ci >= chunks {
+						break
+					}
+					lo := ci * stepChunk
+					hi := lo + stepChunk
+					if hi > n {
+						hi = n
+					}
+					for v := lo; v < hi; v++ {
+						out := &r.outboxes[v]
+						out.msgs = out.msgs[:0]
+						if !r.nodes[v].Step(round, r.inFrom[v], r.inWords[v], out) {
+							local++
+						}
+						r.inFrom[v] = r.inFrom[v][:0]
+						r.inWords[v] = r.inWords[v][:0]
+					}
+				}
+				if local > 0 {
+					notDone.Add(local)
+				}
+				wg.Done()
+			}
+		}()
+	}
+	for round := 0; round < maxRounds; round++ {
+		r.batch = r.batch[:0]
+		clear(r.payloads)
+		cursor.Store(0)
+		notDone.Store(0)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			work <- round
+		}
+		wg.Wait()
+		for v := 0; v < n; v++ {
+			for _, m := range r.outboxes[v].msgs {
+				key := [2]int{v, m.to}
+				if _, dup := r.payloads[key]; dup {
+					return round, fmt.Errorf("congest: phase %q round %d: node %d sent two words to %d", phase, round, v, m.to)
+				}
+				r.payloads[key] = m.w
+				r.batch = append(r.batch, hybrid.Msg{From: v, To: m.to})
+			}
+		}
+		if notDone.Load() == 0 && len(r.batch) == 0 {
+			return round, nil
+		}
+		if err := r.deliver(phase, round); err != nil {
+			return round, err
 		}
 	}
 	return maxRounds, fmt.Errorf("congest: phase %q did not terminate within %d rounds", phase, maxRounds)

@@ -2,6 +2,8 @@ package congest
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/graph"
@@ -160,6 +162,120 @@ func TestRunnerTimeout(t *testing.T) {
 type nodeFunc func(int, []int, []Word, *Outbox) bool
 
 func (f nodeFunc) Step(r int, from []int, w []Word, o *Outbox) bool { return f(r, from, w, o) }
+
+// runBFSWorkers runs the distributed BFS programs on a fresh engine
+// with an explicit round-engine worker count and returns everything
+// observable: distances, round count, the engine audit and stats.
+func runBFSWorkers(t *testing.T, g *graph.Graph, src, workers int) ([]int64, int, []hybrid.AuditEntry, hybrid.Stats) {
+	t.Helper()
+	net := congestNet(t, g)
+	n := g.N()
+	nodes := make([]Node, n)
+	progs := make([]*bfsNode, n)
+	for v := 0; v < n; v++ {
+		p := &bfsNode{id: v, isRoot: v == src, dist: -1}
+		g.ForEachNeighbor(v, func(u int, _ int64) {
+			p.neighbors = append(p.neighbors, u)
+		})
+		progs[v] = p
+		nodes[v] = p
+	}
+	r, err := NewRunner(net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Workers = workers
+	rounds, err := r.Run("congest/bfs", 4*n+4)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	dist := make([]int64, n)
+	for v, p := range progs {
+		dist[v] = p.dist
+	}
+	return dist, rounds, net.Audit(), net.Stats()
+}
+
+// TestRunnerWorkerSweepByteIdentity pins the sharded round engine's
+// guarantee: every observable — distances, rounds, engine audit, engine
+// stats — is byte-identical across worker counts {1, 2, GOMAXPROCS, 8},
+// because outboxes merge into the batch in node order regardless of
+// which worker ran which Step.
+func TestRunnerWorkerSweepByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for gi, g := range []*graph.Graph{
+		graph.Grid(24, 2),
+		graph.RandomConnected(500, 0.02, rng),
+	} {
+		wantDist, wantRounds, wantAudit, wantStats := runBFSWorkers(t, g, 0, 1)
+		for _, w := range []int{2, runtime.GOMAXPROCS(0), 8} {
+			dist, rounds, audit, stats := runBFSWorkers(t, g, 0, w)
+			if !reflect.DeepEqual(dist, wantDist) {
+				t.Fatalf("graph %d: distances diverge at %d workers", gi, w)
+			}
+			if rounds != wantRounds {
+				t.Fatalf("graph %d: %d rounds at %d workers, want %d", gi, rounds, w, wantRounds)
+			}
+			if !reflect.DeepEqual(audit, wantAudit) {
+				t.Fatalf("graph %d: audit trail diverges at %d workers", gi, w)
+			}
+			if stats != wantStats {
+				t.Fatalf("graph %d: engine stats diverge at %d workers: %+v vs %+v", gi, w, stats, wantStats)
+			}
+		}
+	}
+}
+
+// TestRunnerAutoParallelMatchesSequential crosses the parallelMinN
+// auto-selection threshold: Workers = 0 on a ≥ 4096-node network shards
+// the rounds, and the result still matches the forced-sequential run.
+func TestRunnerAutoParallelMatchesSequential(t *testing.T) {
+	g := graph.Grid(64, 2) // 4096 nodes, on the auto-parallel side
+	if n := g.N(); n < parallelMinN {
+		t.Fatalf("test graph has %d nodes, below parallelMinN=%d", n, parallelMinN)
+	}
+	wantDist, wantRounds, wantAudit, wantStats := runBFSWorkers(t, g, 5, 1)
+	dist, rounds, audit, stats := runBFSWorkers(t, g, 5, 0)
+	if !reflect.DeepEqual(dist, wantDist) || rounds != wantRounds ||
+		!reflect.DeepEqual(audit, wantAudit) || stats != wantStats {
+		t.Fatal("auto-parallel run diverges from the sequential schedule")
+	}
+}
+
+// TestRunnerShardedRejectsPerEdgeViolation pins the error path of the
+// sharded engine: a λ violation is caught during the node-order merge
+// with the same error text and round as the sequential schedule.
+func TestRunnerShardedRejectsPerEdgeViolation(t *testing.T) {
+	build := func() *Runner {
+		g := graph.Path(200)
+		net := congestNet(t, g)
+		nodes := make([]Node, g.N())
+		for v := range nodes {
+			c := &cheater{}
+			for _, e := range g.Neighbors(v) {
+				c.neighbors = append(c.neighbors, int(e.To))
+			}
+			nodes[v] = c
+		}
+		r, err := NewRunner(net, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := build()
+	seq.Workers = 1
+	_, errSeq := seq.Run("cheat", 5)
+	par := build()
+	par.Workers = 8
+	_, errPar := par.Run("cheat", 5)
+	if errSeq == nil || errPar == nil {
+		t.Fatal("double send per edge accepted")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error text diverges:\n  sequential: %v\n  sharded:    %v", errSeq, errPar)
+	}
+}
 
 func TestImmediateTermination(t *testing.T) {
 	g := graph.Path(4)

@@ -42,7 +42,7 @@ func NQFamilies() []graph.Family {
 // selects all of NQFamilies. The computation is fully deterministic —
 // the seed axis is degenerate.
 func NQScalingScenario(families []graph.Family, n int, ks []int) *runner.Scenario[NQScalingRow] {
-	return nqScalingScenario("nqscaling", families, []int{n}, ks)
+	return nqScalingScenario("nqscaling", families, []int{n}, ks, true)
 }
 
 // NQScalingLargeScenario is the large-n variant registered as
@@ -54,10 +54,28 @@ func NQScalingScenario(families []graph.Family, n int, ks []int) *runner.Scenari
 // prediction — is paid once per instance instead of once per point.
 func NQScalingLargeScenario(families []graph.Family, n int) *runner.Scenario[NQScalingRow] {
 	return nqScalingScenario("nqscaling-large", families, []int{4 * n, 16 * n},
-		[]int{16, 64, 256, 1024, 4096})
+		[]int{16, 64, 256, 1024, 4096}, true)
 }
 
-func nqScalingScenario(name string, families []graph.Family, ns, ks []int) *runner.Scenario[NQScalingRow] {
+// NQXLNodes is the instance size of the "nqscaling-xl" artifact — the
+// million-node regime the parallel kernel layer (DESIGN.md §14) exists
+// for.
+const NQXLNodes = 1_000_000
+
+// NQScalingXLScenario is the million-node variant registered as
+// "nqscaling-xl". Unlike the smaller sweeps it never materializes the
+// ball-profile artifact (at n = 10^6 the per-node profile matrix would
+// dominate memory); every cell answers through the early-exit ball
+// kernel, sharded across graph.MaxKernelWorkers(), and the min{·, D}
+// cap comes from the generators' analytic diameter seeds instead of the
+// O(n·m) all-BFS sweep. The n parameter exists for shape tests; the
+// registry runs it at NQXLNodes.
+func NQScalingXLScenario(families []graph.Family, n int) *runner.Scenario[NQScalingRow] {
+	return nqScalingScenario("nqscaling-xl", families, []int{n},
+		[]int{16, 256, 4096}, false)
+}
+
+func nqScalingScenario(name string, families []graph.Family, ns, ks []int, attachProfiles bool) *runner.Scenario[NQScalingRow] {
 	if len(families) == 0 {
 		families = NQFamilies()
 	}
@@ -78,8 +96,11 @@ func nqScalingScenario(name string, families []graph.Family, ns, ks []int) *runn
 			// Share the ball-profile artifact across every k-point of
 			// this instance (computed once per graph, persisted by the
 			// sweep service): nq.Of then answers each node in O(log)
-			// from the profile instead of regrowing its ball.
-			c.BallProfiles(g)
+			// from the profile instead of regrowing its ball. The xl
+			// sweep opts out and relies on the ball kernel per cell.
+			if attachProfiles {
+				c.BallProfiles(g)
+			}
 			k := c.Point.K
 			q, err := nq.Of(g, k)
 			if err != nil {
@@ -120,6 +141,11 @@ func NQScalingData(rows []NQScalingRow) *runner.Table {
 // NQScalingLargeData renders the large-n sweep's rows.
 func NQScalingLargeData(rows []NQScalingRow) *runner.Table {
 	return nqScalingData("nqscaling-large", "NQ_k scaling at large n (Theorems 15/16)", rows)
+}
+
+// NQScalingXLData renders the million-node sweep's rows.
+func NQScalingXLData(rows []NQScalingRow) *runner.Table {
+	return nqScalingData("nqscaling-xl", "NQ_k scaling at n = 10^6 (Theorems 15/16)", rows)
 }
 
 // nqScalingKeys and nqScalingValues are shared between the finished

@@ -69,6 +69,11 @@ var registry = []struct {
 		Summary: "The Theorem 15/16 analysis on 4n- and 16n-node instances with k up to 4096 — a sweep sized for the shared topology cache (each instance is built once and reused across all k-points); excluded from the default quick report.",
 	}, genNQLarge},
 	{Artifact{
+		Name:    "nqscaling-xl",
+		Title:   "NQ_k scaling at n = 10^6 (Theorems 15/16)",
+		Summary: "The Theorem 15/16 analysis on million-node instances — profile-free, served entirely by the sharded early-exit ball kernel over the analytic diameter seeds (DESIGN.md §14); excluded from the default quick report.",
+	}, genNQXL},
+	{Artifact{
 		Name:    "robustness",
 		Title:   "Robustness — async backend under faults",
 		Summary: "Solution quality and convergence time of the asynchronous fault-injecting backend (DESIGN.md §13) versus loss and churn rates — the robustness axis the round-synchronous analysis doesn't touch; excluded from the default quick report.",
@@ -164,6 +169,23 @@ func genNQLarge(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
 		return nil, err
 	}
 	return []*runner.Table{NQScalingLargeData(rows)}, nil
+}
+
+// genNQXL sweeps the million-node Theorem 15/16 grid. The instance size
+// is pinned at NQXLNodes regardless of cfg.N — the artifact exists to
+// exercise the n = 10^6 regime, which is only tractable through the
+// parallel kernel layer. Excluded from the default WriteReport
+// selection like nqscaling-large.
+func genNQXL(cfg ReportConfig, r *runner.Runner) ([]*runner.Table, error) {
+	fams, ok := nqFamilyIntersection(cfg)
+	if !ok {
+		return []*runner.Table{NQScalingXLData(nil)}, nil
+	}
+	rows, err := runner.Collect(r, NQScalingXLScenario(fams, NQXLNodes))
+	if err != nil {
+		return nil, err
+	}
+	return []*runner.Table{NQScalingXLData(rows)}, nil
 }
 
 // genRobustness sweeps the async-backend fault grid. Registered for the

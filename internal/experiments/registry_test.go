@@ -13,7 +13,7 @@ import (
 // service lists: canonical order, stable names, non-empty descriptions.
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	wantNames := []string{"nq", "table1", "table2", "table3", "table4", "figure1", "nqscaling-large", "robustness"}
+	wantNames := []string{"nq", "table1", "table2", "table3", "table4", "figure1", "nqscaling-large", "nqscaling-xl", "robustness"}
 	if len(arts) != len(wantNames) {
 		t.Fatalf("registry has %d artifacts, want %d", len(arts), len(wantNames))
 	}

@@ -5,13 +5,26 @@ import (
 	"math/rand"
 )
 
+// seedDiameter pre-fills the Diameter cache with an analytically known
+// value, sparing the O(n·m) all-BFS sweep on deterministic families —
+// at n = 10^6 that sweep is intractable, and the closed forms here are
+// what lets the nqscaling-xl cells run. Callers must seed after the
+// last mustAddEdge (AddEdge invalidates the cache); every formula is
+// certified against oracle.Diameter in TestAnalyticDiameters.
+func seedDiameter(g *Graph, d int64) *Graph {
+	if d > 0 {
+		g.diam.Store(d)
+	}
+	return g
+}
+
 // Path returns the n-node path P_n (Theorem 15: NQ_k ∈ min{Θ(√k), D}).
 func Path(n int) *Graph {
 	g := New(n)
 	for i := 0; i+1 < n; i++ {
 		g.mustAddEdge(i, i+1, 1)
 	}
-	return g
+	return seedDiameter(g, int64(n-1))
 }
 
 // Cycle returns the n-node cycle C_n.
@@ -19,6 +32,7 @@ func Cycle(n int) *Graph {
 	g := Path(n)
 	if n >= 3 {
 		g.mustAddEdge(n-1, 0, 1)
+		seedDiameter(g, int64(n/2))
 	}
 	return g
 }
@@ -45,7 +59,7 @@ func Grid(side, d int) *Graph {
 		}
 		stride *= side
 	}
-	return g
+	return seedDiameter(g, int64(d)*int64(side-1))
 }
 
 // Grid2D returns the side×side 2-dimensional grid.
@@ -67,7 +81,7 @@ func Torus(side, d int) *Graph {
 		}
 		stride *= side
 	}
-	return g
+	return seedDiameter(g, int64(d)*int64(side/2))
 }
 
 // Complete returns the complete graph K_n.
@@ -78,6 +92,9 @@ func Complete(n int) *Graph {
 			g.mustAddEdge(u, v, 1)
 		}
 	}
+	if n >= 2 {
+		seedDiameter(g, 1)
+	}
 	return g
 }
 
@@ -87,6 +104,11 @@ func Star(n int) *Graph {
 	for v := 1; v < n; v++ {
 		g.mustAddEdge(0, v, 1)
 	}
+	if n >= 3 {
+		seedDiameter(g, 2)
+	} else if n == 2 {
+		seedDiameter(g, 1)
+	}
 	return g
 }
 
@@ -95,6 +117,21 @@ func BinaryTree(n int) *Graph {
 	g := New(n)
 	for v := 1; v < n; v++ {
 		g.mustAddEdge(v, (v-1)/2, 1)
+	}
+	// The diameter path runs through the root: the deepest node of the
+	// left subtree (the first depth-D node, index 2^D-1, is always on
+	// the left) to the deepest of the right (depth D when index
+	// 3·2^(D-1)-1 exists, else D-1).
+	if n >= 2 {
+		depth := 0
+		for 1<<(depth+1) <= n {
+			depth++
+		}
+		right := depth - 1
+		if 3<<(depth-1) <= n {
+			right = depth
+		}
+		seedDiameter(g, int64(depth+right))
 	}
 	return g
 }
@@ -144,6 +181,17 @@ func Lollipop(cliqueSize, pathLen int) *Graph {
 		}
 		g.mustAddEdge(prev, cliqueSize+i, 1)
 	}
+	// Farthest pair: a non-anchor clique node to the path end (one hop
+	// into the anchor, then the path). Degenerate shapes reduce to the
+	// clique (pathLen = 0) or a bare path (cliqueSize ≤ 1).
+	switch {
+	case cliqueSize <= 1:
+		seedDiameter(g, int64(n-1))
+	case pathLen == 0:
+		seedDiameter(g, 1)
+	default:
+		seedDiameter(g, int64(pathLen+1))
+	}
 	return g
 }
 
@@ -164,7 +212,7 @@ func Hypercube(d int) *Graph {
 			}
 		}
 	}
-	return g
+	return seedDiameter(g, int64(d))
 }
 
 // RandomRegular returns a connected (approximately) d-regular expander-

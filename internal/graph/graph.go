@@ -56,6 +56,19 @@ type Graph struct {
 	// keeping those calls O(|ball|) instead of Θ(n). Safe for
 	// concurrent readers of the graph.
 	ballPool sync.Pool
+	// heapPool recycles the binary-heap scratch of Dijkstra and
+	// MultiSourceDijkstra (below the parallel-kernel threshold), so
+	// repeated calls allocate only their result vectors.
+	heapPool sync.Pool
+	// kernelPool recycles the frontier bitsets and worker state of the
+	// direction-optimizing BFS kernel (kernels.go).
+	kernelPool sync.Pool
+	// deltaPool recycles the bucket ring and scratch of the
+	// delta-stepping SSSP kernel (deltastep.go).
+	deltaPool sync.Pool
+	// deltaCache memoizes deltaParams (Δ<<16 | ringK; 0 = uncomputed):
+	// a pure function of the frozen weights, like diam.
+	deltaCache atomic.Int64
 }
 
 // New returns a graph with n isolated nodes.

@@ -3,7 +3,16 @@ package graph
 import "math"
 
 // BFS returns hop distances from src (Inf marks unreachable nodes).
+// Large frozen graphs (n ≥ 2^15) route to the direction-optimizing
+// parallel kernel (kernels.go); the output is identical either way.
 func (g *Graph) BFS(src int) []int64 {
+	if g.csr != nil && g.N() >= kernelMinN {
+		return g.BFSWorkers(src, 0)
+	}
+	return g.bfsSequential(src)
+}
+
+func (g *Graph) bfsSequential(src int) []int64 {
 	dist := make([]int64, g.N())
 	for i := range dist {
 		dist[i] = Inf
@@ -42,8 +51,18 @@ func (g *Graph) BFS(src int) []int64 {
 // MultiSourceBFS returns, for each node, the hop distance to the closest
 // source and that source's index within srcs (closest source ties broken
 // by BFS order, i.e. by the smallest position in srcs). nearest is -1 for
-// unreachable nodes.
+// unreachable nodes. Large frozen graphs (n ≥ 2^15) route to the
+// direction-optimizing parallel kernel, which reproduces the same
+// tie-break (the queue stays sorted by nearest-source index within
+// each level, so BFS order and min-source-index coincide).
 func (g *Graph) MultiSourceBFS(srcs []int) (dist []int64, nearest []int) {
+	if g.csr != nil && g.N() >= kernelMinN {
+		return g.MultiSourceBFSWorkers(srcs, 0)
+	}
+	return g.multiSourceBFSSequential(srcs)
+}
+
+func (g *Graph) multiSourceBFSSequential(srcs []int) (dist []int64, nearest []int) {
 	n := g.N()
 	dist = make([]int64, n)
 	nearest = make([]int, n)
@@ -239,6 +258,18 @@ func newDistHeap(capacity int) *distHeap {
 	return &distHeap{node: make([]int32, 0, capacity), d: make([]int64, 0, capacity)}
 }
 
+// getDistHeap returns an empty heap from the graph's pool, so repeated
+// Dijkstra calls allocate only their result vectors. Return it with
+// g.heapPool.Put once drained.
+func (g *Graph) getDistHeap() *distHeap {
+	h, _ := g.heapPool.Get().(*distHeap)
+	if h == nil || cap(h.node) < g.N() {
+		return newDistHeap(g.N())
+	}
+	h.node, h.d = h.node[:0], h.d[:0]
+	return h
+}
+
 func (h *distHeap) Len() int { return len(h.node) }
 
 func (h *distHeap) swap(i, j int) {
@@ -283,7 +314,16 @@ func (h *distHeap) pop() (int32, int64) {
 }
 
 // Dijkstra returns weighted distances d(src, ·) (Inf for unreachable).
+// Large frozen graphs (n ≥ 2^15) route to the delta-stepping bucket
+// kernel (deltastep.go); the output is identical either way.
 func (g *Graph) Dijkstra(src int) []int64 {
+	if g.csr != nil && g.N() >= kernelMinN {
+		return g.DeltaStepping(src, 0)
+	}
+	return g.dijkstraHeap(src)
+}
+
+func (g *Graph) dijkstraHeap(src int) []int64 {
 	dist := make([]int64, g.N())
 	for i := range dist {
 		dist[i] = Inf
@@ -292,7 +332,8 @@ func (g *Graph) Dijkstra(src int) []int64 {
 		return dist
 	}
 	dist[src] = 0
-	h := newDistHeap(g.N())
+	h := g.getDistHeap()
+	defer g.heapPool.Put(h)
 	h.push(int32(src), 0)
 	g.dijkstraLoop(h, dist, nil)
 	return dist
@@ -341,7 +382,17 @@ func (g *Graph) dijkstraLoop(h *distHeap, dist []int64, nearest []int) {
 
 // MultiSourceDijkstra returns, for each node, the weighted distance to the
 // closest source and that source's index within srcs (-1 if unreachable).
+// Below the parallel-kernel threshold ties between equally close sources
+// follow heap order; large frozen graphs (n ≥ 2^15) route to the
+// delta-stepping kernel, which resolves them to the smallest source index.
 func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
+	if g.csr != nil && g.N() >= kernelMinN {
+		return g.MultiSourceDeltaStepping(srcs, 0)
+	}
+	return g.multiSourceDijkstraHeap(srcs)
+}
+
+func (g *Graph) multiSourceDijkstraHeap(srcs []int) (dist []int64, nearest []int) {
 	n := g.N()
 	dist = make([]int64, n)
 	nearest = make([]int, n)
@@ -349,7 +400,8 @@ func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
 		dist[i] = Inf
 		nearest[i] = -1
 	}
-	h := newDistHeap(n)
+	h := g.getDistHeap()
+	defer g.heapPool.Put(h)
 	for i, s := range srcs {
 		if s >= 0 && s < n && dist[s] > 0 {
 			dist[s] = 0
@@ -363,8 +415,16 @@ func (g *Graph) MultiSourceDijkstra(srcs []int) (dist []int64, nearest []int) {
 
 // HopLimitedDistances returns d^h(src, ·): the weight of the lightest path
 // using at most h edges (Inf if no such path). Bellman–Ford with h
-// relaxation rounds, O(h·m).
+// relaxation rounds, O(h·m). Large frozen graphs (n ≥ 2^15) route to the
+// strictly synchronous parallel kernel (kernels.go).
 func (g *Graph) HopLimitedDistances(src, h int) []int64 {
+	if g.csr != nil && g.N() >= kernelMinN {
+		return g.HopLimitedDistancesWorkers(src, h, 0)
+	}
+	return g.hopLimitedSequential(src, h)
+}
+
+func (g *Graph) hopLimitedSequential(src, h int) []int64 {
 	n := g.N()
 	cur := make([]int64, n)
 	for i := range cur {

@@ -18,11 +18,118 @@ package nq
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hybrid"
 	"repro/internal/overlay"
 )
+
+// parallelMinN is the node count from which the per-node evaluation
+// loops shard across graph.MaxKernelWorkers() workers (matching the
+// graph kernels' threshold); below it the sequential loop keeps the
+// allocation-free guarantee TestCoreNQOfAllocFree pins.
+const parallelMinN = 1 << 15
+
+// parallelNodes reports whether the per-node evaluation of an n-node
+// graph shards across workers. The dispatch lives at the call sites
+// (profileMax, kernelMax) rather than inside one maxOverNodes
+// function: a closure passed to the parallel loop is captured by
+// goroutines and must live on the heap, and Go's escape analysis is
+// per-parameter, so a single function serving both regimes would heap-
+// allocate the closure even on the sequential path — breaking the
+// zero-allocation guarantee TestCoreNQOfAllocFree pins for small n.
+func parallelNodes(n int) bool {
+	return n >= parallelMinN && graph.MaxKernelWorkers() > 1
+}
+
+// maxOverNodesSeq evaluates value(v) for every node sequentially,
+// storing into perNode when non-nil and returning the maximum. It must
+// not leak value (see parallelNodes).
+func maxOverNodesSeq(n int, perNode []int, value func(v int) int) int {
+	best := 0
+	for v := 0; v < n; v++ {
+		q := value(v)
+		if perNode != nil {
+			perNode[v] = q
+		}
+		if q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+// maxOverNodesParallel is the sharded counterpart: nodes fan out
+// across a chunk-claiming worker pool; each worker writes only its own
+// indices and the maximum is an order-free reduction, so the result is
+// byte-identical to maxOverNodesSeq at any worker count.
+func maxOverNodesParallel(n int, perNode []int, value func(v int) int) int {
+	workers := graph.MaxKernelWorkers()
+	const grain = 256
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	maxes := make([]int, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best := 0
+			for {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= chunks {
+					break
+				}
+				lo := ci * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					q := value(v)
+					if perNode != nil {
+						perNode[v] = q
+					}
+					if q > best {
+						best = q
+					}
+				}
+			}
+			maxes[w] = best
+		}(w)
+	}
+	wg.Wait()
+	best := 0
+	for _, m := range maxes {
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// profileMax evaluates NQ_k(v) over all nodes from an attached profile,
+// dispatching between the sequential and sharded loops (parallelNodes).
+func profileMax(p *graph.Profiles, n int, perNode []int, k, hi, d int) int {
+	if parallelNodes(n) {
+		return maxOverNodesParallel(n, perNode, func(v int) int { return profileValue(p, v, k, hi, d) })
+	}
+	return maxOverNodesSeq(n, perNode, func(v int) int { return profileValue(p, v, k, hi, d) })
+}
+
+// kernelMax is profileMax's counterpart on the early-exit ball kernel
+// path (no profile covers k).
+func kernelMax(g *graph.Graph, n int, perNode []int, k, d int) int {
+	if parallelNodes(n) {
+		return maxOverNodesParallel(n, perNode, func(v int) int { return kernelValue(g, v, k, d) })
+	}
+	return maxOverNodesSeq(n, perNode, func(v int) int { return kernelValue(g, v, k, d) })
+}
 
 // ceilSqrt returns ⌈√k⌉ (1 for k ≤ 1).
 func ceilSqrt(k int) int {
@@ -127,20 +234,10 @@ func PerNode(g *graph.Graph, k int) (perNode []int, nq int, err error) {
 	n := g.N()
 	perNode = make([]int, n)
 	if p, hi := profileFor(g, k, d); p != nil {
-		for v := 0; v < n; v++ {
-			perNode[v] = profileValue(p, v, k, hi, d)
-			if perNode[v] > nq {
-				nq = perNode[v]
-			}
-		}
+		nq = profileMax(p, n, perNode, k, hi, d)
 		return perNode, nq, nil
 	}
-	for v := 0; v < n; v++ {
-		perNode[v] = kernelValue(g, v, k, d)
-		if perNode[v] > nq {
-			nq = perNode[v]
-		}
-	}
+	nq = kernelMax(g, n, perNode, k, d)
 	return perNode, nq, nil
 }
 
@@ -153,21 +250,10 @@ func Of(g *graph.Graph, k int) (int, error) {
 		return 0, err
 	}
 	n := g.N()
-	nq := 0
 	if p, hi := profileFor(g, k, d); p != nil {
-		for v := 0; v < n; v++ {
-			if q := profileValue(p, v, k, hi, d); q > nq {
-				nq = q
-			}
-		}
-		return nq, nil
+		return profileMax(p, n, nil, k, hi, d), nil
 	}
-	for v := 0; v < n; v++ {
-		if q := kernelValue(g, v, k, d); q > nq {
-			nq = q
-		}
-	}
-	return nq, nil
+	return kernelMax(g, n, nil, k, d), nil
 }
 
 // Witness returns a node v maximizing NQ_k(v) — by Lemma 3.8 it

@@ -1,0 +1,74 @@
+package nq
+
+// Determinism of the sharded per-node evaluation: above parallelMinN
+// the maxOverNodes loop fans out across graph.MaxKernelWorkers()
+// workers, and both the per-node vector and the maximum must stay
+// byte-identical to the sequential loop at every worker count.
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestParallelPerNodeWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n parallel evaluation suite")
+	}
+	g, err := graph.Build(graph.FamilyPath, parallelMinN+100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer graph.SetMaxKernelWorkers(0)
+	for _, k := range []int{16, 1024} {
+		graph.SetMaxKernelWorkers(1)
+		wantPer, wantNQ, err := PerNode(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOf, err := Of(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantOf != wantNQ {
+			t.Fatalf("k=%d: Of=%d, PerNode max=%d", k, wantOf, wantNQ)
+		}
+		for _, w := range []int{2, runtime.GOMAXPROCS(0), 8} {
+			graph.SetMaxKernelWorkers(w)
+			per, nqv, err := PerNode(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nqv != wantNQ || !reflect.DeepEqual(per, wantPer) {
+				t.Fatalf("k=%d: PerNode diverges at %d workers", k, w)
+			}
+			if got, err := Of(g, k); err != nil || got != wantNQ {
+				t.Fatalf("k=%d: Of=%d (err=%v) at %d workers, want %d", k, got, err, w, wantNQ)
+			}
+		}
+	}
+}
+
+// TestMaxOverNodesSmallStaysSequential pins the threshold contract:
+// below parallelMinN the evaluation must not spawn workers (the
+// allocation-free guarantee of nq.Of depends on it), which the
+// parallelNodes dispatch honors regardless of the configured worker
+// count.
+func TestMaxOverNodesSmallStaysSequential(t *testing.T) {
+	graph.SetMaxKernelWorkers(8)
+	defer graph.SetMaxKernelWorkers(0)
+	if parallelNodes(100) {
+		t.Fatal("parallelNodes(100) = true below parallelMinN")
+	}
+	if !parallelNodes(parallelMinN) {
+		t.Fatal("parallelNodes(parallelMinN) = false with an 8-worker budget")
+	}
+	calls := 0
+	got := maxOverNodesSeq(100, nil, func(v int) int { calls++; return v % 7 })
+	if calls != 100 || got != 6 {
+		t.Fatalf("sequential path: %d calls, max %d", calls, got)
+	}
+}
