@@ -1,0 +1,492 @@
+package hybridnet_test
+
+// The differential robustness capstone of cluster mode (DESIGN.md
+// §15): a 3-peer in-process cluster must render byte-identical md/csv/
+// jsonl to a single node — with no faults, with 10% peer-call loss,
+// with 200ms peer latency, and with one peer hard-killed mid-sweep —
+// and a sweep computed on peer A must be ≥90% cache-served when
+// resubmitted on peer B. No sweep ever fails because a peer is down;
+// the degradation shows up in the metrics instead.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/hybridnet"
+	"repro/internal/peer"
+)
+
+var clusterFormats = []string{"md", "csv", "jsonl"}
+
+// sweepA is the cross-profile workload; sweepB is a disjoint sweep
+// (different content addresses) submitted only after the kill, so its
+// cells are guaranteed to exercise the degradation path.
+var (
+	sweepA = hybridnet.SweepRequest{Scenario: "nq", N: 64}
+	sweepB = hybridnet.SweepRequest{Scenario: "nq", N: 48}
+)
+
+// renderAll runs req to completion on srv and renders every format.
+func renderAll(t *testing.T, srv *hybridnet.Server, req hybridnet.SweepRequest) (hybridnet.SweepStatus, map[string]string) {
+	t.Helper()
+	st, err := srv.Submit(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err = srv.Wait(st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.State != hybridnet.SweepDone {
+		t.Fatalf("sweep %s state = %q (%s); a sweep must never fail due to peer unavailability", st.ID, st.State, st.Error)
+	}
+	out := make(map[string]string, len(clusterFormats))
+	for _, format := range clusterFormats {
+		var buf bytes.Buffer
+		if err := srv.WriteResults(&buf, st.ID, format); err != nil {
+			t.Fatalf("render %s: %v", format, err)
+		}
+		out[format] = buf.String()
+	}
+	return st, out
+}
+
+// reference renders the single-node ground truth.
+func reference(t *testing.T, req hybridnet.SweepRequest) map[string]string {
+	t.Helper()
+	srv, err := hybridnet.NewServer(hybridnet.ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, out := renderAll(t, srv, req)
+	return out
+}
+
+// testCluster is a 3-peer in-process cluster: three full hybridnet
+// Servers on real sockets, each configured with the same membership.
+type testCluster struct {
+	addrs []string
+	srvs  []*hybridnet.Server
+	https []*httptest.Server
+	dead  map[int]bool
+}
+
+// startCluster boots n peers. Each peer's outbound calls go through a
+// FaultTransport with the given profile (distinct seeds, so the peers
+// don't fault in lockstep).
+func startCluster(t *testing.T, n int, faults peer.Faults) *testCluster {
+	t.Helper()
+	cl := &testCluster{dead: make(map[int]bool)}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		cl.addrs = append(cl.addrs, l.Addr().String())
+	}
+	for i, l := range listeners {
+		f := faults
+		f.Seed = faults.Seed + int64(i)
+		srv, err := hybridnet.NewServer(hybridnet.ServerConfig{
+			Workers:           2,
+			CacheDir:          t.TempDir(),
+			Peers:             cl.addrs,
+			Self:              cl.addrs[i],
+			PeerProbeInterval: 50 * time.Millisecond,
+			PeerFetchTimeout:  time.Second,
+			PeerHedgeDelay:    25 * time.Millisecond,
+			PeerSeed:          int64(i + 1),
+			PeerTransport:     &peer.FaultTransport{Faults: f},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.srvs = append(cl.srvs, srv)
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		cl.https = append(cl.https, ts)
+	}
+	t.Cleanup(cl.close)
+	return cl
+}
+
+// kill hard-kills peer i at the HTTP level: every established
+// connection is severed and the listener closed, exactly what the
+// survivors observe when a peer process dies.
+func (cl *testCluster) kill(i int) {
+	if cl.dead[i] {
+		return
+	}
+	cl.dead[i] = true
+	cl.https[i].CloseClientConnections()
+	cl.https[i].Close()
+	cl.srvs[i].Close()
+}
+
+func (cl *testCluster) close() {
+	for i := range cl.https {
+		if !cl.dead[i] {
+			cl.https[i].Close()
+			cl.srvs[i].Close()
+			cl.dead[i] = true
+		}
+	}
+}
+
+// drainReplication waits until every live peer's replication queue is
+// empty — after which every computed blob reached its ring owner (or
+// was counted as error/dropped).
+func (cl *testCluster) drainReplication(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		settled := true
+		for i, srv := range cl.srvs {
+			if cl.dead[i] {
+				continue
+			}
+			ps := srv.CacheStats().Peers
+			if ps == nil {
+				t.Fatal("cluster node without peer stats")
+			}
+			r := ps.Replication
+			if r.Pending != 0 || r.Enqueued != r.Sent+r.Errors+r.Dropped {
+				settled = false
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replication queues never drained")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestClusterDifferentialRobustness(t *testing.T) {
+	refA := reference(t, sweepA)
+	refB := reference(t, sweepB)
+
+	profiles := []struct {
+		name   string
+		faults peer.Faults
+		kill   bool
+		// assertWarm: the cross-peer resubmission must be ≥90%
+		// cache-served. Skipped under loss (a lost fill legitimately
+		// recomputes) and kill (the resubmission target changes).
+		assertWarm bool
+	}{
+		{name: "none", assertWarm: true},
+		{name: "loss10", faults: peer.Faults{Drop: 0.10, Seed: 1000}},
+		{name: "latency200", faults: peer.Faults{Delay: 200 * time.Millisecond, Seed: 2000}, assertWarm: true},
+		{name: "killed-mid-sweep", kill: true},
+	}
+	for _, profile := range profiles {
+		profile := profile
+		t.Run(profile.name, func(t *testing.T) {
+			cl := startCluster(t, 3, profile.faults)
+
+			// Phase 1: cold sweep on peer 0 (under kill, peer 2 dies
+			// right after admission — mid-sweep from the survivors'
+			// point of view).
+			st, err := cl.srvs[0].Submit(sweepA)
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			if profile.kill {
+				cl.kill(2)
+			}
+			if st, err = cl.srvs[0].Wait(st.ID); err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			if st.State != hybridnet.SweepDone {
+				t.Fatalf("cold sweep state = %q (%s); degradation must never fail a sweep", st.State, st.Error)
+			}
+			for _, format := range clusterFormats {
+				var buf bytes.Buffer
+				if err := cl.srvs[0].WriteResults(&buf, st.ID, format); err != nil {
+					t.Fatalf("render %s: %v", format, err)
+				}
+				if buf.String() != refA[format] {
+					t.Fatalf("profile %s: %s output differs from single-node reference", profile.name, format)
+				}
+			}
+
+			if profile.kill {
+				// Phase 2 (kill): a fresh sweep on a survivor. Its
+				// cells' owners include the dead peer with near
+				// certainty, so the fill path must degrade gracefully
+				// — byte-identically — and say so in the metrics.
+				_, out := renderAll(t, cl.srvs[1], sweepB)
+				for _, format := range clusterFormats {
+					if out[format] != refB[format] {
+						t.Fatalf("post-kill %s output differs from single-node reference", format)
+					}
+				}
+				// The survivors' probes must mark the dead peer down.
+				deadAddr := cl.addrs[2]
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					down := 0
+					for _, i := range []int{0, 1} {
+						for _, m := range cl.srvs[i].CacheStats().Peers.Members {
+							if m.Addr == deadAddr && m.State == "down" {
+								down++
+							}
+						}
+					}
+					if down == 2 {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("survivors never marked %s down", deadAddr)
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				// And the degradation is visible: fills that could not
+				// reach the dead owner fell back to local compute.
+				var degraded, failed uint64
+				for _, i := range []int{0, 1} {
+					ps := cl.srvs[i].CacheStats().Peers
+					degraded += ps.Degraded
+					failed += ps.Fetch["error"] + ps.Fetch["timeout"]
+				}
+				if degraded == 0 {
+					t.Fatalf("no degradation recorded after a peer kill (degraded=%d, fetch errors/timeouts=%d)", degraded, failed)
+				}
+				var metricsBuf bytes.Buffer
+				cl.srvs[1].Metrics().WriteText(&metricsBuf)
+				text := metricsBuf.String()
+				if !strings.Contains(text, `hybridd_peer_state{peer="`+deadAddr+`"} 0`) {
+					t.Errorf("/metrics does not report the dead peer down:\n%s", grepLines(text, "hybridd_peer_"))
+				}
+				if !strings.Contains(text, "hybridd_peer_degraded_total") {
+					t.Errorf("/metrics lacks hybridd_peer_degraded_total")
+				}
+				return
+			}
+
+			// Phase 2 (no kill): once replication settles, the same
+			// sweep resubmitted on peer 1 re-renders byte-identically,
+			// served from the cluster's caches.
+			cl.drainReplication(t)
+			st2, out := renderAll(t, cl.srvs[1], sweepA)
+			for _, format := range clusterFormats {
+				if out[format] != refA[format] {
+					t.Fatalf("profile %s: cross-peer resubmission %s output differs", profile.name, format)
+				}
+			}
+			if profile.assertWarm {
+				if st2.Cells == 0 || st2.CachedCells*10 < st2.Cells*9 {
+					t.Fatalf("cross-peer resubmission served %d/%d cells from cache; want >= 90%%", st2.CachedCells, st2.Cells)
+				}
+			}
+		})
+	}
+}
+
+// grepLines filters text to the lines containing substr (test
+// diagnostics).
+func grepLines(text, substr string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func TestClusterPeerEndpoints(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := l.Addr().String()
+	srv, err := hybridnet.NewServer(hybridnet.ServerConfig{
+		Workers:           1,
+		CacheDir:          t.TempDir(),
+		Peers:             []string{self, "127.0.0.1:1"},
+		Self:              self,
+		PeerProbeInterval: time.Hour, // no background probe noise
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	base := "http://" + self
+
+	// Liveness probe: identity + version.
+	resp, err := http.Get(base + "/v1/peer/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, self) || !strings.Contains(body, srv.Version()) {
+		t.Fatalf("ping = %d %q", resp.StatusCode, body)
+	}
+
+	// Replication push, then serve it back with a digest header.
+	blob := []byte("cluster blob")
+	sum := sha256.Sum256(blob)
+	digest := hex.EncodeToString(sum[:])
+	key := "v=" + srv.Version() + "/cafe0123"
+	put, err := http.NewRequest(http.MethodPut, base+"/v1/peer/artifact/results/"+key, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	put.Header.Set("X-Artifact-Sha256", digest)
+	resp, err = http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/peer/artifact/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || got != string(blob) {
+		t.Fatalf("GET = %d %q", resp.StatusCode, got)
+	}
+	if h := resp.Header.Get("X-Artifact-Sha256"); h != digest {
+		t.Fatalf("digest header = %q, want %q", h, digest)
+	}
+
+	// A push with a wrong digest is rejected and not stored.
+	put2, _ := http.NewRequest(http.MethodPut, base+"/v1/peer/artifact/results/v=x/bad", bytes.NewReader(blob))
+	put2.Header.Set("X-Artifact-Sha256", strings.Repeat("0", 64))
+	resp, err = http.DefaultClient.Do(put2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = http.Get(base + "/v1/peer/artifact/results/v=x/bad")
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt blob was stored: GET = %d", resp.StatusCode)
+	}
+
+	// Unknown namespace and unknown key are 404; sweeps records are
+	// not served peer-to-peer.
+	for _, path := range []string{
+		"/v1/peer/artifact/results/absent",
+		"/v1/peer/artifact/sweeps/" + key,
+		"/v1/peer/artifact/bogus/" + key,
+	} {
+		resp, err = http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Wrong method keeps the JSON 405 contract.
+	resp, err = http.Post(base+"/v1/peer/artifact/results/"+key, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, PUT" {
+		t.Fatalf("POST = %d, Allow = %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// The cluster surfaces on /v1/cache/stats and /metrics.
+	ps := srv.CacheStats().Peers
+	if ps == nil || ps.Self != self || len(ps.Members) != 2 {
+		t.Fatalf("CacheStats().Peers = %+v", ps)
+	}
+	var buf bytes.Buffer
+	srv.Metrics().WriteText(&buf)
+	for _, want := range []string{
+		`hybridd_peer_state{peer="` + self + `"} 2`,
+		"hybridd_peer_fetch_total",
+		"hybridd_peer_degraded_total",
+		"hybridd_peer_replicate_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  hybridnet.ServerConfig
+	}{
+		{"peers without self", hybridnet.ServerConfig{Peers: []string{"a:1", "b:2"}}},
+		{"self not in peers", hybridnet.ServerConfig{Peers: []string{"a:1", "b:2"}, Self: "c:3"}},
+		{"self without peers", hybridnet.ServerConfig{Self: "a:1"}},
+		{"cluster without cache", hybridnet.ServerConfig{Peers: []string{"a:1"}, Self: "a:1", CacheBytes: -1}},
+		{"duplicate peer", hybridnet.ServerConfig{Peers: []string{"a:1", "a:1"}, Self: "a:1"}},
+	}
+	for _, tc := range cases {
+		if srv, err := hybridnet.NewServer(tc.cfg); err == nil {
+			srv.Close()
+			t.Errorf("%s: NewServer accepted an invalid cluster config", tc.name)
+		}
+	}
+	// Sanity: a well-formed single-member cluster config is accepted.
+	srv, err := hybridnet.NewServer(hybridnet.ServerConfig{Peers: []string{"127.0.0.1:1"}, Self: "127.0.0.1:1", PeerProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("valid cluster config rejected: %v", err)
+	}
+	srv.Close()
+}
+
+func TestClusterHedgeFmt(t *testing.T) {
+	// Exercise Owners determinism across processes in spirit: two
+	// rings built from the same membership in different order agree on
+	// every owner (the cluster-wide ownership argument of DESIGN.md
+	// §15 rests on this).
+	a := peer.NewRing([]string{"h1:1", "h2:2", "h3:3"}, 0)
+	b := peer.NewRing([]string{"h3:3", "h1:1", "h2:2"}, 0)
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("results\x00v=v/%d", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %q", k)
+		}
+	}
+}

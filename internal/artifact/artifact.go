@@ -64,6 +64,15 @@ type Stats struct {
 	DiskHits uint64 `json:"disk_hits"`
 	// DiskPuts counts records appended to the disk tier.
 	DiskPuts uint64 `json:"disk_puts"`
+	// Fills counts Gets served by the remote fill hook (see SetFill):
+	// local misses healed by a verified peer fetch.
+	Fills uint64 `json:"fills,omitempty"`
+	// FillRejects counts remote blobs discarded because their bytes
+	// did not match the advertised content hash.
+	FillRejects uint64 `json:"fill_rejects,omitempty"`
+	// FillErrors counts fill attempts that failed for any reason other
+	// than a clean remote miss (ErrFillUnavailable).
+	FillErrors uint64 `json:"fill_errors,omitempty"`
 	// Entries and Bytes describe the current memory tier.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
@@ -85,6 +94,9 @@ func (s *Stats) add(o Stats) {
 	s.Evictions += o.Evictions
 	s.DiskHits += o.DiskHits
 	s.DiskPuts += o.DiskPuts
+	s.Fills += o.Fills
+	s.FillRejects += o.FillRejects
+	s.FillErrors += o.FillErrors
 	s.Entries += o.Entries
 	s.Bytes += o.Bytes
 }
@@ -144,20 +156,24 @@ type Store struct {
 // counters is one namespace's atomic counter block.
 type counters struct {
 	hits, misses, puts, evictions, diskHits, diskPuts atomic.Uint64
+	fills, fillRejects, fillErrors                    atomic.Uint64
 	entries                                           atomic.Int64
 	bytes                                             atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Puts:      c.puts.Load(),
-		Evictions: c.evictions.Load(),
-		DiskHits:  c.diskHits.Load(),
-		DiskPuts:  c.diskPuts.Load(),
-		Entries:   int(c.entries.Load()),
-		Bytes:     c.bytes.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Puts:        c.puts.Load(),
+		Evictions:   c.evictions.Load(),
+		DiskHits:    c.diskHits.Load(),
+		DiskPuts:    c.diskPuts.Load(),
+		Fills:       c.fills.Load(),
+		FillRejects: c.fillRejects.Load(),
+		FillErrors:  c.fillErrors.Load(),
+		Entries:     int(c.entries.Load()),
+		Bytes:       c.bytes.Load(),
 	}
 }
 
@@ -294,6 +310,15 @@ type Namespace struct {
 	store        *Store
 	name         string
 	diskOnlyPuts atomic.Bool
+
+	// fill and replicate are the cluster hooks (see fill.go); nil
+	// outside cluster mode.
+	fillFn atomic.Pointer[FillFunc]
+	replFn atomic.Pointer[ReplicateFunc]
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	counters
 }
 
@@ -314,24 +339,17 @@ func (ns *Namespace) Stats() Stats { return ns.counters.snapshot() }
 
 // Get returns the blob stored under key. The returned slice is shared
 // and must be treated as read-only. Disk-tier hits are promoted into
-// the memory tier.
+// the memory tier; if both tiers miss and a fill hook is installed
+// (cluster mode), the blob is pulled from the owning peer, verified,
+// and written through locally before being returned.
 func (ns *Namespace) Get(key string) ([]byte, bool) {
-	k := memKey{ns: ns.name, key: key}
-	sh := ns.store.shard(k)
-	sh.mu.Lock()
-	if el, ok := sh.entries[k]; ok {
-		sh.lru.MoveToFront(el)
-		v := el.Value.(*entry).value
-		sh.mu.Unlock()
+	if v, ok := ns.getLocal(key); ok {
 		ns.hits.Add(1)
 		return v, true
 	}
-	sh.mu.Unlock()
-	if d := ns.store.disk; d != nil {
-		if v, ok := d.get(ns.name, key); ok {
-			ns.insert(k, v)
+	if fp := ns.fillFn.Load(); fp != nil {
+		if v, ok := ns.fillThrough(key, *fp); ok {
 			ns.hits.Add(1)
-			ns.diskHits.Add(1)
 			return v, true
 		}
 	}
@@ -339,9 +357,58 @@ func (ns *Namespace) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// GetLocal is Get restricted to the local tiers: it never invokes the
+// fill hook. The peer artifact endpoint serves through GetLocal, which
+// is what terminates fill recursion across the cluster.
+func (ns *Namespace) GetLocal(key string) ([]byte, bool) {
+	if v, ok := ns.getLocal(key); ok {
+		ns.hits.Add(1)
+		return v, true
+	}
+	ns.misses.Add(1)
+	return nil, false
+}
+
+// getLocal consults memory then disk, counting diskHits but leaving
+// hit/miss accounting to the caller.
+func (ns *Namespace) getLocal(key string) ([]byte, bool) {
+	k := memKey{ns: ns.name, key: key}
+	sh := ns.store.shard(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		v := el.Value.(*entry).value
+		sh.mu.Unlock()
+		return v, true
+	}
+	sh.mu.Unlock()
+	if d := ns.store.disk; d != nil {
+		if v, ok := d.get(ns.name, key); ok {
+			ns.insert(k, v)
+			ns.diskHits.Add(1)
+			return v, true
+		}
+	}
+	return nil, false
+}
+
 // Put stores the blob under key in both tiers (or the disk tier alone
-// under SetDiskOnlyPuts). Values are treated as immutable after Put.
+// under SetDiskOnlyPuts) and, when a replicate hook is installed,
+// offers the blob for asynchronous push to its ring owner. Values are
+// treated as immutable after Put.
 func (ns *Namespace) Put(key string, value []byte) {
+	ns.PutLocal(key, value)
+	if rp := ns.replFn.Load(); rp != nil {
+		(*rp)(key, value)
+	}
+}
+
+// PutLocal is Put without the replicate hook. Blobs that arrived from
+// a peer (fill write-throughs, replication pushes) are stored with
+// PutLocal so they are not re-offered to the cluster — the receiving
+// side is already the owner or the fetcher, so another hop could only
+// echo blobs back and forth.
+func (ns *Namespace) PutLocal(key string, value []byte) {
 	ns.puts.Add(1)
 	d := ns.store.disk
 	if d == nil || !ns.diskOnlyPuts.Load() {

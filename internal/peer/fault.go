@@ -1,0 +1,88 @@
+package peer
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// mix is the splitmix64-style pure hash shared with internal/async's
+// fault layer: every stochastic decision in this package (retry
+// jitter, injected faults) is a pure function of a seed and integer
+// coordinates, never of a stateful RNG, so concurrent goroutines
+// cannot perturb each other's draws and every run is replayable.
+func mix(seed int64, vals ...int64) uint64 {
+	z := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range vals {
+		z ^= uint64(v) + 0x9E3779B97F4A7C15 + (z << 6) + (z >> 2)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return z
+}
+
+// prob maps a hash to a uniform draw in [0, 1).
+func prob(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// backoff returns the sleep before retry attempt (1-based), an
+// exponential base capped at BackoffMax plus up to 50% deterministic
+// jitter drawn from mix(seed, keyHash, attempt).
+func (c Config) backoff(keyHash uint64, attempt int) time.Duration {
+	d := c.BackoffBase << uint(attempt-1)
+	if d > c.BackoffMax || d <= 0 {
+		d = c.BackoffMax
+	}
+	j := time.Duration(mix(c.Seed, int64(keyHash), int64(attempt)) % uint64(d/2+1))
+	return d + j
+}
+
+// Faults describes the fault profile injected by FaultTransport.
+type Faults struct {
+	// Seed feeds the pure-hash draws; runs with equal seeds inject
+	// identical fault sequences.
+	Seed int64
+	// Drop is the probability a request errors without reaching the
+	// peer (simulated loss of a global-network call).
+	Drop float64
+	// Delay is added to matching requests before they are forwarded.
+	Delay time.Duration
+	// DelayProb is the probability a request is delayed; zero with a
+	// non-zero Delay means delay every request.
+	DelayProb float64
+}
+
+// FaultTransport is an http.RoundTripper that injects deterministic
+// faults into peer calls, reusing the splitmix pure-hash discipline of
+// internal/async: the fate of request #n is mix(Seed, n, lane), so a
+// fault schedule is a pure function of the seed and arrival order.
+// The differential cluster tests wire it in through Config.Transport.
+type FaultTransport struct {
+	Faults
+	// Base handles the surviving requests; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	seq atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.seq.Add(1)
+	if t.Delay > 0 && (t.DelayProb <= 0 || prob(mix(t.Seed, n, 1)) < t.DelayProb) {
+		select {
+		case <-time.After(t.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.Drop > 0 && prob(mix(t.Seed, n, 2)) < t.Drop {
+		return nil, fmt.Errorf("peer: injected fault: dropped request %d to %s", n, req.URL.Host)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

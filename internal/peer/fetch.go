@@ -1,0 +1,250 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// DigestHeader carries the sha256 hex digest of an artifact blob on
+// the peer wire protocol; receivers re-verify the body against it
+// before trusting the bytes.
+const DigestHeader = "X-Artifact-Sha256"
+
+// MaxBlobBytes bounds a single artifact blob on the wire (both fetch
+// responses and replication pushes). Rendered sweep documents are tens
+// of kilobytes; 64 MiB leaves room for graph/profile blobs at large n
+// while still bounding a misbehaving peer.
+const MaxBlobBytes = 64 << 20
+
+// Outcome classifies one Fetch call for the
+// hybridd_peer_fetch_total{outcome=...} metric.
+type Outcome string
+
+const (
+	// OutcomeHit: a candidate returned the blob and it verified.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss: every consulted candidate authoritatively answered
+	// 404 — the blob does not exist remotely. Not a degradation.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeError: a candidate failed (transport error, bad status,
+	// digest mismatch) or the primary owner was skipped as Down — the
+	// owner's answer is unknown, so computing locally is a degradation.
+	OutcomeError Outcome = "error"
+	// OutcomeTimeout: like OutcomeError, but the decisive failure was
+	// a deadline.
+	OutcomeTimeout Outcome = "timeout"
+)
+
+// Fetcher pulls artifact blobs from owning peers with per-attempt
+// timeouts, exponential backoff with deterministic jitter against the
+// primary, and one bounded hedged attempt against the next ring owner
+// (launched after HedgeDelay, or immediately once the primary fails).
+type Fetcher struct {
+	cfg    Config
+	reg    *Registry
+	client *http.Client
+}
+
+// NewFetcher builds a fetcher sharing the registry's liveness view.
+func NewFetcher(cfg Config, reg *Registry) *Fetcher {
+	cfg = cfg.withDefaults()
+	return &Fetcher{cfg: cfg, reg: reg, client: &http.Client{Transport: cfg.Transport}}
+}
+
+// Fetch tries to pull ns/key from candidates (ring order: primary
+// first). Down candidates are skipped. On success it returns the blob
+// and its advertised sha256 hex digest with OutcomeHit; otherwise the
+// blob is nil and the outcome classifies the failure. Fetch never
+// returns an error — the caller's contract is to degrade to local
+// compute on anything but a hit.
+func (f *Fetcher) Fetch(ctx context.Context, ns, key string, candidates []string) ([]byte, string, Outcome) {
+	// A skipped-because-Down primary means the owner's answer is
+	// unknown: even if a secondary authoritatively misses, the caller
+	// is degrading, so pre-seed the error flag.
+	sawError, sawTimeout := false, false
+	live := make([]string, 0, len(candidates))
+	for i, c := range candidates {
+		if c == f.cfg.Self {
+			continue
+		}
+		if f.reg != nil && f.reg.State(c) == Down {
+			if i == 0 {
+				sawError = true
+			}
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return nil, "", OutcomeError
+	}
+	primary := live[0]
+	secondary := ""
+	if len(live) > 1 {
+		secondary = live[1]
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		blob    []byte
+		digest  string
+		outcome Outcome
+	}
+	ch := make(chan result, 2)
+	attempt := func(addr string, tries int) {
+		blob, digest, outcome := f.attempt(ctx, addr, ns, key, tries)
+		ch <- result{blob, digest, outcome}
+	}
+	launched := 1
+	go attempt(primary, f.cfg.FetchRetries)
+	var hedge <-chan time.Time
+	if secondary != "" {
+		t := time.NewTimer(f.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	for done := 0; ; {
+		select {
+		case r := <-ch:
+			done++
+			switch r.outcome {
+			case OutcomeHit:
+				return r.blob, r.digest, OutcomeHit
+			case OutcomeTimeout:
+				sawTimeout = true
+			case OutcomeError:
+				sawError = true
+			}
+			if done < launched {
+				continue
+			}
+			if secondary != "" && launched == 1 {
+				// Primary resolved without a hit before the hedge
+				// timer fired: spend the bounded second attempt now.
+				launched++
+				go attempt(secondary, 1)
+				hedge = nil
+				continue
+			}
+			switch {
+			case sawTimeout:
+				return nil, "", OutcomeTimeout
+			case sawError:
+				return nil, "", OutcomeError
+			default:
+				return nil, "", OutcomeMiss
+			}
+		case <-hedge:
+			hedge = nil
+			launched++
+			go attempt(secondary, 1)
+		case <-ctx.Done():
+			return nil, "", OutcomeTimeout
+		}
+	}
+}
+
+// attempt runs up to tries requests against one peer, backing off
+// between them. A 404 is authoritative and ends the attempt loop; a
+// transport error or bad status is retried.
+func (f *Fetcher) attempt(ctx context.Context, addr, ns, key string, tries int) ([]byte, string, Outcome) {
+	kh := hash64(ns + "\x00" + key)
+	outcome := OutcomeError
+	for i := 1; i <= tries; i++ {
+		if i > 1 {
+			select {
+			case <-time.After(f.cfg.backoff(kh, i-1)):
+			case <-ctx.Done():
+				return nil, "", OutcomeTimeout
+			}
+		}
+		blob, digest, o, retry := f.once(ctx, addr, ns, key)
+		if o == OutcomeHit {
+			f.reg.Observe(addr, true)
+			return blob, digest, OutcomeHit
+		}
+		if o == OutcomeMiss {
+			// The peer answered: it does not have the blob. The peer
+			// itself is alive.
+			f.reg.Observe(addr, true)
+			return nil, "", OutcomeMiss
+		}
+		outcome = o
+		if !retry {
+			break
+		}
+	}
+	f.reg.Observe(addr, false)
+	return nil, "", outcome
+}
+
+// once performs a single HTTP attempt. retry reports whether another
+// attempt could change the answer.
+func (f *Fetcher) once(ctx context.Context, addr, ns, key string) (blob []byte, digest string, o Outcome, retry bool) {
+	actx, cancel := context.WithTimeout(ctx, f.cfg.FetchTimeout)
+	defer cancel()
+	u := "http://" + addr + "/v1/peer/artifact/" + url.PathEscape(ns) + "/" + escapeKey(key)
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", OutcomeError, false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || actx.Err() != nil {
+			return nil, "", OutcomeTimeout, true
+		}
+		return nil, "", OutcomeError, true
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBlobBytes+1))
+		if err != nil {
+			if actx.Err() != nil {
+				return nil, "", OutcomeTimeout, true
+			}
+			return nil, "", OutcomeError, true
+		}
+		if len(body) > MaxBlobBytes {
+			return nil, "", OutcomeError, false
+		}
+		return body, resp.Header.Get(DigestHeader), OutcomeHit, false
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, "", OutcomeMiss, false
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, "", OutcomeError, true
+	}
+}
+
+// escapeKey path-escapes an artifact key segment-wise: keys contain
+// literal '/' separators (e.g. the "v=<version>/" cache prefix) that
+// must survive as path structure for the {key...} route pattern.
+func escapeKey(key string) string {
+	out := ""
+	for i, seg := range splitSlash(key) {
+		if i > 0 {
+			out += "/"
+		}
+		out += url.PathEscape(seg)
+	}
+	return out
+}
+
+func splitSlash(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

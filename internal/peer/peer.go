@@ -1,0 +1,361 @@
+// Package peer implements the cluster layer of the sweep service: a
+// static-membership registry with gossip-style liveness probing, a
+// consistent-hash ring assigning every content-addressed artifact a
+// primary owner, a remote-fetch path with retry/backoff and a bounded
+// hedged second attempt, and an asynchronous owner-directed
+// replicator. The design mirrors the HYBRID model of the source paper
+// (PODC 2024): each hybridd process trusts its fast local store and
+// treats the links to its peers as a constrained, unreliable global
+// network — every peer interaction is allowed to fail, and failure
+// always degrades to local compute rather than an error. See
+// DESIGN.md §15 for the ring layout and the failure-mode table.
+package peer
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// State is the liveness estimate for a peer. The zero value is Down so
+// an unknown peer is never trusted.
+type State int
+
+const (
+	// Down: the peer failed Config.DownAfter consecutive probes. Down
+	// peers are skipped by the fetcher until a probe succeeds.
+	Down State = iota
+	// Suspect: at least one probe failed but fewer than
+	// Config.DownAfter in a row. Suspect peers are still contacted.
+	Suspect
+	// Healthy: the last probe (or any later request) succeeded.
+	Healthy
+)
+
+// String renders the state for /v1/cache/stats and logs.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// Status is one member's row in a Registry snapshot.
+type Status struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Failures int    `json:"failures,omitempty"` // consecutive failed probes
+}
+
+// Config carries the knobs shared by the registry, fetcher and
+// replicator. The zero value of every duration/count field selects the
+// documented default, so callers only set what they need.
+type Config struct {
+	// Self is this process's own advertised host:port. It must appear
+	// in Peers.
+	Self string
+	// Peers is the full static membership, including Self.
+	Peers []string
+	// Version is the artifact code version advertised on ping; a peer
+	// answering with a different non-empty version is treated as a
+	// failed probe (its blobs would be keyed under another prefix).
+	Version string
+
+	ProbeInterval time.Duration // liveness probe period (default 1s)
+	ProbeTimeout  time.Duration // per-probe timeout (default 1s)
+	DownAfter     int           // consecutive failures before Down (default 3)
+
+	FetchTimeout time.Duration // per-attempt artifact fetch timeout (default 2s)
+	FetchRetries int           // attempts against the primary owner (default 2)
+	HedgeDelay   time.Duration // delay before the hedged second attempt (default 150ms)
+	BackoffBase  time.Duration // first retry backoff (default 25ms)
+	BackoffMax   time.Duration // backoff cap (default 250ms)
+
+	ReplicateAttempts int // push attempts per blob (default 3)
+	ReplicateQueue    int // pending replication queue bound (default 1024)
+	ReplicateWorkers  int // concurrent replication pushes (default 2)
+
+	// Seed feeds the splitmix jitter hash (see fault.go); zero derives
+	// a seed from Self so peers don't jitter in lockstep.
+	Seed int64
+	// Transport overrides the HTTP transport for all peer calls (the
+	// fault-injection seam used by the differential cluster tests).
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+	if c.FetchRetries <= 0 {
+		c.FetchRetries = 2
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 150 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.ReplicateAttempts <= 0 {
+		c.ReplicateAttempts = 3
+	}
+	if c.ReplicateQueue <= 0 {
+		c.ReplicateQueue = 1024
+	}
+	if c.ReplicateWorkers <= 0 {
+		c.ReplicateWorkers = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(hash64(c.Self))
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Self == "" {
+		return fmt.Errorf("peer: Self is required in cluster mode")
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("peer: Peers is empty")
+	}
+	found := false
+	seen := make(map[string]bool, len(c.Peers))
+	for _, p := range c.Peers {
+		if p == "" {
+			return fmt.Errorf("peer: empty peer address in list")
+		}
+		if seen[p] {
+			return fmt.Errorf("peer: duplicate peer address %q", p)
+		}
+		seen[p] = true
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("peer: self %q is not in the peer list %v", c.Self, c.Peers)
+	}
+	return nil
+}
+
+// hash64 is the FNV-1a 64-bit hash used for ring points, key
+// placement, and seed derivation.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Registry tracks the liveness of a static peer membership. Liveness
+// is gossip-style in the failure-detector sense: each peer
+// independently probes every other peer's /v1/peer/ping and keeps a
+// suspicion level (healthy -> suspect -> down after DownAfter
+// consecutive failures, healed by any success) rather than a binary
+// membership view — no peer is ever evicted, because membership is
+// static and a down peer may return.
+type Registry struct {
+	cfg    Config
+	client *http.Client
+
+	mu     sync.Mutex
+	states map[string]*memberState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type memberState struct {
+	state State
+	fails int
+}
+
+// NewRegistry validates the membership and returns a registry with
+// every peer initially Healthy (optimistic: the first fetches are
+// tried immediately, and probes demote unreachable peers within
+// DownAfter*ProbeInterval). Call Start to begin background probing.
+func NewRegistry(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+		states: make(map[string]*memberState, len(cfg.Peers)),
+		stop:   make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		r.states[p] = &memberState{state: Healthy}
+	}
+	return r, nil
+}
+
+// Self returns the configured self address.
+func (r *Registry) Self() string { return r.cfg.Self }
+
+// Others returns the membership minus self, in configuration order.
+func (r *Registry) Others() []string {
+	out := make([]string, 0, len(r.cfg.Peers)-1)
+	for _, p := range r.cfg.Peers {
+		if p != r.cfg.Self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// State reports the current liveness estimate for addr. Self is always
+// Healthy; unknown addresses are Down.
+func (r *Registry) State(addr string) State {
+	if addr == r.cfg.Self {
+		return Healthy
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.states[addr]; ok {
+		return m.state
+	}
+	return Down
+}
+
+// Snapshot returns one Status per member in configuration order.
+func (r *Registry) Snapshot() []Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Status, 0, len(r.cfg.Peers))
+	for _, p := range r.cfg.Peers {
+		if p == r.cfg.Self {
+			out = append(out, Status{Addr: p, State: Healthy.String()})
+			continue
+		}
+		m := r.states[p]
+		out = append(out, Status{Addr: p, State: m.state.String(), Failures: m.fails})
+	}
+	return out
+}
+
+// Observe folds the outcome of any peer interaction (probe, fetch,
+// replication push) into the liveness estimate: a success heals the
+// peer to Healthy immediately, a failure advances healthy -> suspect
+// -> down.
+func (r *Registry) Observe(addr string, ok bool) {
+	if addr == r.cfg.Self {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, in := r.states[addr]
+	if !in {
+		return
+	}
+	if ok {
+		m.state, m.fails = Healthy, 0
+		return
+	}
+	m.fails++
+	if m.fails >= r.cfg.DownAfter {
+		m.state = Down
+	} else {
+		m.state = Suspect
+	}
+}
+
+// pingBody is the /v1/peer/ping response contract.
+type pingBody struct {
+	Self    string `json:"self"`
+	Version string `json:"version"`
+}
+
+// ProbeOnce runs one concurrent liveness round against every other
+// peer and folds the results into the registry.
+func (r *Registry) ProbeOnce(ctx context.Context) {
+	others := r.Others()
+	var wg sync.WaitGroup
+	for _, addr := range others {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			r.Observe(addr, r.probe(ctx, addr) == nil)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+func (r *Registry) probe(ctx context.Context, addr string) error {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/peer/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer %s: ping status %d", addr, resp.StatusCode)
+	}
+	var body pingBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("peer %s: ping decode: %w", addr, err)
+	}
+	if r.cfg.Version != "" && body.Version != "" && body.Version != r.cfg.Version {
+		return fmt.Errorf("peer %s: version %q != ours %q", addr, body.Version, r.cfg.Version)
+	}
+	return nil
+}
+
+// Start launches the background probe loop. Stop with Close.
+func (r *Registry) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.cfg.ProbeInterval)
+		defer t.Stop()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-r.stop
+			cancel()
+		}()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it. Idempotent.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}

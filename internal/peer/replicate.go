@@ -1,0 +1,189 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicatorStats is the replication queue's public view, surfaced on
+// /v1/cache/stats. All counters are cumulative.
+type ReplicatorStats struct {
+	Enqueued uint64 `json:"enqueued"`
+	Sent     uint64 `json:"sent"`
+	Errors   uint64 `json:"errors"`  // blobs that exhausted every attempt
+	Dropped  uint64 `json:"dropped"` // rejected by the full queue or shutdown
+	Pending  int    `json:"pending"` // queued but not yet pushed
+}
+
+// Replicator asynchronously pushes locally computed blobs to their
+// ring owner with bounded retry/backoff, so a later lookup anywhere in
+// the cluster finds the blob one hop away. Replication is strictly
+// best-effort: the queue is bounded and drops on overflow, pushes that
+// exhaust their attempts are abandoned, and nothing ever blocks the
+// sweep path — a lost replica only costs a future remote fetch or a
+// recompute, never correctness, because keys are content-addressed.
+type Replicator struct {
+	cfg    Config
+	reg    *Registry
+	client *http.Client
+
+	// Observe, when set before the first Enqueue, is called with the
+	// terminal outcome of every queued blob: "ok", "error" or
+	// "dropped" (the /metrics hook).
+	Observe func(outcome string)
+
+	queue chan replItem
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	enqueued atomic.Uint64
+	sent     atomic.Uint64
+	errors   atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+type replItem struct {
+	owner, ns, key string
+	blob           []byte
+	digest         string
+}
+
+// NewReplicator starts cfg.ReplicateWorkers background pushers.
+func NewReplicator(cfg Config, reg *Registry) *Replicator {
+	cfg = cfg.withDefaults()
+	r := &Replicator{
+		cfg:    cfg,
+		reg:    reg,
+		client: &http.Client{Transport: cfg.Transport},
+		queue:  make(chan replItem, cfg.ReplicateQueue),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.ReplicateWorkers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Enqueue schedules ns/key for push to owner. Non-blocking: a full
+// queue (or a closed replicator) counts the blob as dropped.
+func (r *Replicator) Enqueue(owner, ns, key string, blob []byte) {
+	sum := sha256.Sum256(blob)
+	item := replItem{owner: owner, ns: ns, key: key, blob: blob, digest: hex.EncodeToString(sum[:])}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		r.drop()
+		return
+	}
+	select {
+	case r.queue <- item:
+		r.enqueued.Add(1)
+	default:
+		r.drop()
+	}
+}
+
+func (r *Replicator) drop() {
+	r.dropped.Add(1)
+	if r.Observe != nil {
+		r.Observe("dropped")
+	}
+}
+
+func (r *Replicator) worker() {
+	defer r.wg.Done()
+	for item := range r.queue {
+		r.push(item)
+	}
+}
+
+// push attempts the PUT up to ReplicateAttempts times. During
+// shutdown the backoff sleeps are skipped so Close drains quickly; a
+// Down owner consumes an attempt without a request.
+func (r *Replicator) push(item replItem) {
+	kh := hash64(item.ns + "\x00" + item.key)
+	stopping := false
+	for a := 1; a <= r.cfg.ReplicateAttempts; a++ {
+		if a > 1 && !stopping {
+			select {
+			case <-time.After(r.cfg.backoff(kh, a-1)):
+			case <-r.stop:
+				stopping = true
+			}
+		}
+		if r.reg != nil && r.reg.State(item.owner) == Down {
+			continue
+		}
+		if r.send(item) {
+			r.sent.Add(1)
+			if r.Observe != nil {
+				r.Observe("ok")
+			}
+			return
+		}
+	}
+	r.errors.Add(1)
+	if r.Observe != nil {
+		r.Observe("error")
+	}
+}
+
+func (r *Replicator) send(item replItem) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.FetchTimeout)
+	defer cancel()
+	u := "http://" + item.owner + "/v1/peer/artifact/" + url.PathEscape(item.ns) + "/" + escapeKey(item.key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(item.blob))
+	if err != nil {
+		return false
+	}
+	req.Header.Set(DigestHeader, item.digest)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.reg.Observe(item.owner, false)
+		return false
+	}
+	defer resp.Body.Close()
+	ok := resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
+	r.reg.Observe(item.owner, ok)
+	return ok
+}
+
+// Stats snapshots the counters.
+func (r *Replicator) Stats() ReplicatorStats {
+	return ReplicatorStats{
+		Enqueued: r.enqueued.Load(),
+		Sent:     r.sent.Load(),
+		Errors:   r.errors.Load(),
+		Dropped:  r.dropped.Load(),
+		Pending:  len(r.queue),
+	}
+}
+
+// Close stops accepting new blobs, drains the queue with best-effort
+// single attempts (retry backoffs are skipped), and waits for the
+// workers. Idempotent.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	close(r.queue)
+	r.mu.Unlock()
+	r.wg.Wait()
+}
